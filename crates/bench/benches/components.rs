@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks for the core components: predictor lookup
+//! rates, oracle throughput, µ-op cache operations, and end-to-end
+//! simulator speed.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sim_isa::Addr;
+use ucp_bpred::{SclPreset, TageScL};
+use ucp_core::{SimConfig, Simulator};
+use ucp_frontend::{EntryEnd, UopCache, UopCacheConfig, UopEntrySpec};
+use ucp_workloads::{Oracle, WorkloadSpec};
+
+fn bench_tage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tage_sc_l");
+    let bp = TageScL::new(SclPreset::Main64K);
+    let mut hist = bp.new_history();
+    for i in 0..1000u32 {
+        hist.push(i % 3 == 0);
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("predict", |b| {
+        let mut pc = 0x1000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0xffff | 0x1000;
+            std::hint::black_box(bp.predict(&hist, Addr::new(pc)))
+        })
+    });
+    g.bench_function("predict_update_push", |b| {
+        let mut bp = TageScL::new(SclPreset::Main64K);
+        let mut hist = bp.new_history();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let pc = Addr::new(0x1000 + (i % 512) * 4);
+            let p = bp.predict(&hist, pc);
+            let outcome = (i * 2654435761) % 5 < 2;
+            bp.update(pc, &p, outcome);
+            hist.push(outcome);
+        })
+    });
+    g.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle");
+    let spec = WorkloadSpec::tiny("bench", 7);
+    let prog = spec.build();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("next_inst", |b| {
+        let mut o = Oracle::new(&prog, spec.seed);
+        b.iter(|| std::hint::black_box(o.next_inst()))
+    });
+    g.finish();
+}
+
+fn bench_uop_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uop_cache");
+    let mut uc = UopCache::new(UopCacheConfig::kops_4());
+    for i in 0..512u64 {
+        uc.insert(UopEntrySpec {
+            start: Addr::new(0x10000 + i * 32),
+            num_uops: 8,
+            end: EntryEnd::WindowBoundary,
+            prefetched: false,
+            trigger: 0,
+        });
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lookup", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(uc.lookup(Addr::new(0x10000 + (i % 1024) * 32)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let spec = WorkloadSpec::tiny("bench", 3);
+    for (name, cfg) in [
+        ("baseline_50k_inst", SimConfig::baseline()),
+        ("ucp_50k_inst", SimConfig::ucp()),
+    ] {
+        g.throughput(Throughput::Elements(50_000));
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(Simulator::run_spec(&spec, &cfg, 5_000, 50_000)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tage, bench_oracle, bench_uop_cache, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! `cargo bench` entry that regenerates reduced (quick-profile) versions of
+//! every table and figure. Full-scale runs: the `fig*` binaries with
+//! `UCP_FIG_PROFILE=std|full`.
+
+fn main() {
+    // Respect an explicit profile; default to quick for bench runs.
+    if std::env::var("UCP_FIG_PROFILE").is_err() {
+        std::env::set_var("UCP_FIG_PROFILE", "quick");
+    }
+    let profile = ucp_bench::Profile::from_env();
+    print!("{}", ucp_bench::figs::all(profile));
+}

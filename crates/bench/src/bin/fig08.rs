@@ -1,0 +1,4 @@
+//! Prints the UCP hardware inventory (paper Fig. 8 / §IV-F).
+fn main() {
+    print!("{}", ucp_bench::figs::fig08());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 09 (see DESIGN.md §4).
+fn main() {
+    let profile = ucp_bench::Profile::from_env();
+    print!("{}", ucp_bench::figs::fig09(profile));
+}

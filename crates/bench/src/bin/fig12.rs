@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 12 (see DESIGN.md §4).
+fn main() {
+    let profile = ucp_bench::Profile::from_env();
+    print!("{}", ucp_bench::figs::fig12(profile));
+}

@@ -1,0 +1,4 @@
+//! Prints the Table I stopping weights actually used by the UCP engine.
+fn main() {
+    print!("{}", ucp_bench::figs::table1());
+}

@@ -1,0 +1,4 @@
+//! Prints the instantiated Table II baseline configuration.
+fn main() {
+    print!("{}", ucp_bench::figs::table2());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the artifact-appendix UCP variant table.
+fn main() {
+    let profile = ucp_bench::Profile::from_env();
+    print!("{}", ucp_bench::figs::table_artifact(profile));
+}

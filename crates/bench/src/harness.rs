@@ -1,0 +1,170 @@
+//! Shared harness plumbing: profiles, the result cache, and formatting.
+
+use std::path::PathBuf;
+use ucp_core::{run_suite, RunResult, SimConfig};
+use ucp_workloads::suite::{quick_suite, workload_suite};
+use ucp_workloads::WorkloadSpec;
+
+/// Simulation volume profile (see the crate docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// 8 workloads × (0.2 M + 0.8 M) instructions.
+    Quick,
+    /// 30 workloads × (0.5 M + 2 M) instructions.
+    Std,
+    /// 30 workloads × (1 M + 4 M) instructions.
+    Full,
+}
+
+impl Profile {
+    /// Reads `UCP_FIG_PROFILE` (default `std`).
+    pub fn from_env() -> Self {
+        match std::env::var("UCP_FIG_PROFILE").as_deref() {
+            Ok("quick") => Profile::Quick,
+            Ok("full") => Profile::Full,
+            _ => Profile::Std,
+        }
+    }
+
+    /// The workload suite for this profile.
+    pub fn suite(self) -> Vec<WorkloadSpec> {
+        match self {
+            Profile::Quick => quick_suite(),
+            _ => workload_suite(),
+        }
+    }
+
+    /// (warmup, measure) instruction counts per run.
+    pub fn lengths(self) -> (u64, u64) {
+        match self {
+            Profile::Quick => (200_000, 800_000),
+            Profile::Std => (500_000, 2_000_000),
+            Profile::Full => (1_000_000, 4_000_000),
+        }
+    }
+
+    /// Short tag for cache keys and report headers.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Profile::Quick => "quick",
+            Profile::Std => "std",
+            Profile::Full => "full",
+        }
+    }
+}
+
+/// Bump when a model-affecting code change invalidates cached results.
+/// (v1 keeps the original key format so existing caches stay valid.)
+pub const MODEL_VERSION: u32 = 1;
+
+fn cache_dir() -> PathBuf {
+    std::env::var("UCP_RESULT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/ucp-results"))
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `cfg` over the profile's suite, caching results on disk. The cache
+/// key covers the full configuration, the suite composition and the run
+/// lengths, so distinct experiments never collide.
+pub fn cached_suite_run(cfg: &SimConfig, profile: Profile) -> Vec<RunResult> {
+    let suite = profile.suite();
+    let (warmup, measure) = profile.lengths();
+    let cfg_json = serde_json::to_string(cfg).expect("config serializes");
+    let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+    let key = if MODEL_VERSION == 1 {
+        format!("{cfg_json}|{names:?}|{warmup}|{measure}")
+    } else {
+        format!("{cfg_json}|{names:?}|{warmup}|{measure}|v{MODEL_VERSION}")
+    };
+    let path = cache_dir().join(format!("{:016x}.json", fnv1a(key.as_bytes())));
+    let no_cache = std::env::var("UCP_NO_CACHE").is_ok();
+    if !no_cache {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(results) = serde_json::from_str::<Vec<RunResult>>(&text) {
+                if results.len() == suite.len()
+                    && results.iter().zip(&suite).all(|(r, s)| r.workload == s.name)
+                {
+                    return results;
+                }
+            }
+        }
+    }
+    let results = run_suite(&suite, cfg, warmup, measure);
+    if !no_cache {
+        let _ = std::fs::create_dir_all(cache_dir());
+        if let Ok(text) = serde_json::to_string(&results) {
+            let _ = std::fs::write(&path, text);
+        }
+    }
+    results
+}
+
+/// Arithmetic mean.
+pub fn amean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Renders a sorted per-workload curve (the paper's "Sorted traces"
+/// x-axes): one `name value` row per workload, ascending.
+pub fn sorted_curve(pairs: &mut Vec<(String, f64)>, unit: &str) -> String {
+    pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite values"));
+    let mut out = String::new();
+    for (name, v) in pairs.iter() {
+        out.push_str(&format!("  {name:<10} {v:>8.2} {unit}\n"));
+    }
+    out
+}
+
+/// Renders a `min / mean / max` summary line.
+pub fn summary_line(label: &str, v: &[f64]) -> String {
+    let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    format!("{label}: min {min:.2}  mean {:.2}  max {max:.2}\n", amean(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_lengths_monotone() {
+        assert!(Profile::Quick.lengths().1 < Profile::Std.lengths().1);
+        assert!(Profile::Std.lengths().1 < Profile::Full.lengths().1);
+        assert_eq!(Profile::Quick.suite().len(), 8);
+        assert_eq!(Profile::Std.suite().len(), 30);
+    }
+
+    #[test]
+    fn fnv_distinguishes() {
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+    }
+
+    #[test]
+    fn sorted_curve_sorts() {
+        let mut v = vec![("b".into(), 2.0), ("a".into(), 1.0)];
+        let s = sorted_curve(&mut v, "%");
+        let a_pos = s.find('a').unwrap();
+        let b_pos = s.find('b').unwrap();
+        assert!(a_pos < b_pos);
+    }
+
+    #[test]
+    fn amean_basic() {
+        assert_eq!(amean(&[1.0, 3.0]), 2.0);
+        assert_eq!(amean(&[]), 0.0);
+    }
+}

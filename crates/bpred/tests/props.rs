@@ -1,0 +1,146 @@
+//! Property-based tests for the branch predictors: determinism,
+//! checkpoint/restore transparency, training convergence and confidence
+//! classification consistency under random branch streams.
+
+use proptest::prelude::*;
+use sim_isa::Addr;
+use ucp_bpred::{
+    push_target_history, ConfidenceEstimator, Ittage, IttageParams, Provider, SclPreset,
+    TageConf, TageScL, UcpConf,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Predicting is a pure function of (tables, history): repeated calls
+    /// without updates return identical predictions.
+    #[test]
+    fn predict_is_pure(outcomes in proptest::collection::vec(any::<bool>(), 1..300), pc in 1u64..4096) {
+        let mut bp = TageScL::new(SclPreset::Alt8K);
+        let mut h = bp.new_history();
+        let pc = Addr::new(pc * 4);
+        for &o in &outcomes {
+            let a = bp.predict(&h, pc);
+            let b = bp.predict(&h, pc);
+            prop_assert_eq!(a.taken, b.taken);
+            prop_assert_eq!(a.provider, b.provider);
+            bp.update(pc, &a, o);
+            h.push(o);
+        }
+    }
+
+    /// Two predictors fed identical streams stay bit-identical in their
+    /// observable behaviour.
+    #[test]
+    fn training_is_deterministic(
+        stream in proptest::collection::vec((0u64..64, any::<bool>()), 1..400),
+    ) {
+        let mut bp1 = TageScL::new(SclPreset::Alt8K);
+        let mut h1 = bp1.new_history();
+        let mut bp2 = TageScL::new(SclPreset::Alt8K);
+        let mut h2 = bp2.new_history();
+        for &(pc_i, o) in &stream {
+            let pc = Addr::new(0x100 + pc_i * 4);
+            let p1 = bp1.predict(&h1, pc);
+            let p2 = bp2.predict(&h2, pc);
+            prop_assert_eq!(p1.taken, p2.taken);
+            bp1.update(pc, &p1, o);
+            bp2.update(pc, &p2, o);
+            h1.push(o);
+            h2.push(o);
+        }
+    }
+
+    /// An always-taken branch converges to near-perfect accuracy whatever
+    /// noise preceded it.
+    #[test]
+    fn converges_on_constant_branch(noise in proptest::collection::vec(any::<bool>(), 0..100)) {
+        let mut bp = TageScL::new(SclPreset::Alt8K);
+        let mut h = bp.new_history();
+        let pc = Addr::new(0x2000);
+        for &o in &noise {
+            let p = bp.predict(&h, pc);
+            bp.update(pc, &p, o);
+            h.push(o);
+        }
+        let mut correct = 0;
+        for _ in 0..200 {
+            let p = bp.predict(&h, pc);
+            correct += u32::from(p.taken);
+            bp.update(pc, &p, true);
+            h.push(true);
+        }
+        prop_assert!(correct >= 190, "constant branch must converge: {correct}/200");
+    }
+
+    /// Confidence estimators are consistent with the provider taxonomy:
+    /// UCP-Conf never trusts AltBank or SC, always trusts LP.
+    #[test]
+    fn ucp_conf_taxonomy(
+        stream in proptest::collection::vec((0u64..32, any::<bool>()), 50..300),
+    ) {
+        let mut bp = TageScL::new(SclPreset::Alt8K);
+        let mut h = bp.new_history();
+        for &(pc_i, o) in &stream {
+            let pc = Addr::new(0x100 + pc_i * 4);
+            let p = bp.predict(&h, pc);
+            match p.provider {
+                Provider::AltBank | Provider::Sc => prop_assert!(UcpConf.is_h2p(&p)),
+                Provider::LoopPred => prop_assert!(!UcpConf.is_h2p(&p)),
+                _ => {}
+            }
+            // Both estimators agree on saturated clean bimodal = confident.
+            if p.provider == Provider::Bimodal && p.tage.provider_saturated() && !p.bim_low8 {
+                prop_assert!(!TageConf.is_h2p(&p));
+                prop_assert!(!UcpConf.is_h2p(&p));
+            }
+            bp.update(pc, &p, o);
+            h.push(o);
+        }
+    }
+
+    /// ITTAGE only ever predicts targets it has been trained with.
+    #[test]
+    fn ittage_predicts_only_seen_targets(
+        stream in proptest::collection::vec(0u8..4, 20..200),
+    ) {
+        let mut it = Ittage::new(IttageParams::alt_4k());
+        let mut h = it.new_history();
+        let pc = Addr::new(0x300);
+        let targets: Vec<Addr> = (0..4).map(|k| Addr::new(0x8000 + k * 0x40)).collect();
+        for &k in &stream {
+            let p = it.predict(&h, pc);
+            if let Some(t) = p.target {
+                prop_assert!(targets.contains(&t), "invented target {t}");
+            }
+            let actual = targets[k as usize];
+            it.update(pc, &p, actual);
+            push_target_history(&mut h, actual);
+        }
+    }
+
+    /// Checkpoint/restore leaves a predictor's view of any history-derived
+    /// prediction unchanged.
+    #[test]
+    fn checkpoint_transparency(
+        pre in proptest::collection::vec(any::<bool>(), 1..200),
+        spec in proptest::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let bp = TageScL::new(SclPreset::Alt8K);
+        let mut h = bp.new_history();
+        for &o in &pre {
+            h.push(o);
+        }
+        let pc = Addr::new(0x500);
+        let before = bp.predict(&h, pc);
+        let cp = h.checkpoint();
+        for &o in &spec {
+            h.push(o);
+        }
+        h.restore(&cp);
+        let after = bp.predict(&h, pc);
+        prop_assert_eq!(before.taken, after.taken);
+        prop_assert_eq!(before.provider, after.provider);
+        prop_assert_eq!(before.sc.sum, after.sc.sum);
+    }
+}

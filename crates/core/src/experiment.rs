@@ -1,0 +1,132 @@
+//! Experiment runner: runs configurations over workload suites, in
+//! parallel across workloads, deterministically.
+
+use crate::config::SimConfig;
+use crate::pipeline::Simulator;
+use crate::stats::SimStats;
+use serde::{Deserialize, Serialize};
+use ucp_workloads::WorkloadSpec;
+
+/// Default warm-up instructions per run (the paper uses 50 M on 100 M-inst
+/// traces; synthetic workloads reach steady state much sooner — see
+/// DESIGN.md §1).
+pub const DEFAULT_WARMUP: u64 = 1_000_000;
+
+/// Default measured instructions per run.
+pub const DEFAULT_MEASURE: u64 = 4_000_000;
+
+/// Reads run length overrides from the environment
+/// (`UCP_SIM_WARMUP`, `UCP_SIM_INSTRUCTIONS`), falling back to the
+/// defaults scaled by `scale`.
+pub fn run_lengths(scale: f64) -> (u64, u64) {
+    let warmup = std::env::var("UCP_SIM_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or((DEFAULT_WARMUP as f64 * scale) as u64)
+        .max(10_000);
+    let measure = std::env::var("UCP_SIM_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or((DEFAULT_MEASURE as f64 * scale) as u64)
+        .max(10_000);
+    (warmup, measure)
+}
+
+/// One workload's result under one configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Collected statistics.
+    pub stats: SimStats,
+}
+
+/// Runs `cfg` over every workload in `suite`, in parallel (one thread per
+/// workload, capped at the machine's parallelism). Results are returned in
+/// suite order regardless of completion order.
+pub fn run_suite(
+    suite: &[WorkloadSpec],
+    cfg: &SimConfig,
+    warmup: u64,
+    measure: u64,
+) -> Vec<RunResult> {
+    let max_par = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut results: Vec<Option<RunResult>> = (0..suite.len()).map(|_| None).collect();
+    for chunk in suite.chunks(max_par.max(1)) {
+        let chunk_start = suite
+            .iter()
+            .position(|s| s.name == chunk[0].name)
+            .expect("chunk comes from suite");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|spec| {
+                    scope.spawn(move || {
+                        let stats = Simulator::run_spec(spec, cfg, warmup, measure);
+                        RunResult { workload: spec.name.clone(), stats }
+                    })
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                results[chunk_start + i] = Some(h.join().expect("simulation thread panicked"));
+            }
+        });
+    }
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Per-workload IPCs from a result set.
+pub fn ipcs(results: &[RunResult]) -> Vec<f64> {
+    results.iter().map(|r| r.stats.ipc()).collect()
+}
+
+/// Per-workload speedups `new/base − 1` in percent, paired by suite order.
+///
+/// # Panics
+///
+/// Panics if the result sets differ in length or workload order.
+pub fn speedups_pct(base: &[RunResult], new: &[RunResult]) -> Vec<f64> {
+    assert_eq!(base.len(), new.len());
+    base.iter()
+        .zip(new)
+        .map(|(b, n)| {
+            assert_eq!(b.workload, n.workload, "result sets must align");
+            (n.stats.ipc() / b.stats.ipc() - 1.0) * 100.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucp_workloads::WorkloadSpec;
+
+    #[test]
+    fn run_suite_preserves_order_and_determinism() {
+        let suite = vec![WorkloadSpec::tiny("a", 1), WorkloadSpec::tiny("b", 2)];
+        let cfg = SimConfig::baseline();
+        let r1 = run_suite(&suite, &cfg, 5_000, 20_000);
+        let r2 = run_suite(&suite, &cfg, 5_000, 20_000);
+        assert_eq!(r1[0].workload, "a");
+        assert_eq!(r1[1].workload, "b");
+        assert_eq!(r1[0].stats.cycles, r2[0].stats.cycles, "deterministic");
+        assert!((20_000..20_016).contains(&r1[1].stats.instructions));
+    }
+
+    #[test]
+    fn speedups_align_by_name() {
+        let suite = vec![WorkloadSpec::tiny("a", 3)];
+        let base = run_suite(&suite, &SimConfig::no_uop_cache(), 5_000, 20_000);
+        let with = run_suite(&suite, &SimConfig::baseline(), 5_000, 20_000);
+        let s = speedups_pct(&base, &with);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn run_lengths_env_override() {
+        // No env set in tests: defaults scale.
+        let (w, m) = run_lengths(0.5);
+        assert_eq!(w, DEFAULT_WARMUP / 2);
+        assert_eq!(m, DEFAULT_MEASURE / 2);
+    }
+}

@@ -1,0 +1,1220 @@
+//! The cycle-level pipeline: decoupled branch-prediction-driven address
+//! generation (FDP), stream/build µ-op cache frontend, event-time
+//! out-of-order backend, and all the evaluation idealizations.
+//!
+//! # Model summary (see DESIGN.md §3 for the rationale)
+//!
+//! * **Address generation** walks the *predicted* path through the real
+//!   static code: the BTB supplies branch targets, TAGE-SC-L directions,
+//!   ITTAGE indirect targets and the RAS return addresses. The oracle
+//!   stream is consulted only to classify each prediction as
+//!   correct/incorrect — after the first misprediction the walker is on
+//!   the wrong path and keeps generating (and fetching, and polluting)
+//!   until the branch resolves, exactly like a decoupled frontend.
+//! * **Fetch/deliver** consumes FTQ blocks: stream mode hits the µ-op
+//!   cache (8 µ-ops, 2 windows per cycle); a miss switches to build mode
+//!   (1-cycle penalty) where blocks are read from the L1I, decoded 6-wide
+//!   and rebuilt into µ-op cache entries under the paper's termination
+//!   rules; enough consecutive µ-op cache hits switch back.
+//! * **Dispatch/backend**: µ-ops younger than an unresolved misprediction
+//!   are squashed at dispatch; everything else enters the event-time
+//!   backend. A mispredicted branch's completion flushes the frontend and
+//!   redirects it to the corrected — i.e. the *alternate* — path, whose
+//!   refill speed is precisely what UCP accelerates.
+
+pub mod backend;
+
+use crate::config::{PrefetcherKind, SimConfig, UopCacheModel};
+use crate::stats::SimStats;
+use crate::ucp::UcpEngine;
+use backend::Backend;
+use sim_isa::{Addr, BranchClass, DynInst, InstKind};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use ucp_bpred::{
+    push_target_history, ConfidenceEstimator, HistCheckpoint, HistoryState, Ittage,
+    IttageParams, IttagePrediction, SclPrediction, TageConf, TageScL, UcpConf,
+};
+use ucp_frontend::{
+    BoundedQueue, Btb, EntryEnd, Ras, RasCheckpoint, UopCache, UopEntrySpec,
+};
+use ucp_mem::{Hierarchy, HitLevel};
+use ucp_prefetch::{DJolt, Entangling, FnlMma, InstPrefetcher, Mrc, NoPrefetch};
+use ucp_workloads::{Oracle, Program, WorkloadSpec};
+
+/// Builds µ-op cache entries for `n` instructions starting at `start`,
+/// applying the paper's termination rules: entries never cross the 32 B
+/// window (callers pass window-bounded blocks), never exceed 8 µ-ops, and
+/// split when a third branch would need a target slot.
+pub(crate) fn build_entries(
+    prog: &Program,
+    start: Addr,
+    n: u8,
+    prefetched: bool,
+    trigger: u64,
+) -> Vec<UopEntrySpec> {
+    let mut out = Vec::with_capacity(2);
+    let mut entry_start = start;
+    let mut count: u8 = 0;
+    let mut branches: u8 = 0;
+    for i in 0..n {
+        let pc = start.offset_insts(u64::from(i));
+        let is_branch = prog.inst_at(pc).is_some_and(|x| x.is_branch());
+        if is_branch && branches == 2 {
+            // Third branch: terminate and start a new entry in the same
+            // region (another way of the same set).
+            out.push(UopEntrySpec {
+                start: entry_start,
+                num_uops: count,
+                end: EntryEnd::BranchSlots,
+                prefetched,
+                trigger,
+            });
+            entry_start = pc;
+            count = 0;
+            branches = 0;
+        }
+        count += 1;
+        branches += u8::from(is_branch);
+    }
+    if count > 0 {
+        out.push(UopEntrySpec {
+            start: entry_start,
+            num_uops: count,
+            end: EntryEnd::WindowBoundary,
+            prefetched,
+            trigger,
+        });
+    }
+    out
+}
+
+/// Frontend delivery mode (§II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// µ-op cache streaming (fast path).
+    Stream,
+    /// L1I + decoders (slow path), building µ-op cache entries.
+    Build,
+}
+
+/// The kind of branch a prediction record tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RecKind {
+    Cond,
+    Indirect { is_call: bool },
+    Return,
+}
+
+/// One in-flight branch prediction.
+struct PredRecord {
+    pc: Addr,
+    kind: RecKind,
+    /// Correct-path position (`None` on the wrong path).
+    pos: Option<u64>,
+    actual_taken: bool,
+    actual_next: Addr,
+    mispredicted: bool,
+    /// Indirect with no known target: fetch stalls until execution.
+    no_target: bool,
+    cp_bp: HistCheckpoint,
+    cp_it: HistCheckpoint,
+    cp_ras: RasCheckpoint,
+    cp_alt: Option<(HistCheckpoint, HistCheckpoint)>,
+    scl: Option<SclPrediction>,
+    itt: Option<IttagePrediction>,
+    alt_scl: Option<SclPrediction>,
+    alt_itt: Option<IttagePrediction>,
+    h2p_tage: bool,
+    h2p_ucp: bool,
+}
+
+const MAX_BLOCK_RECS: usize = 4;
+
+/// One FTQ fetch block (≤ 8 instructions inside one 32 B window).
+#[derive(Clone, Copy, Debug)]
+struct FetchBlock {
+    start: Addr,
+    n: u8,
+    n_cond: u8,
+    /// Correct-path position of the first instruction.
+    pos: Option<u64>,
+    /// Index of the first wrong-path instruction (`u8::MAX` = none).
+    diverge_at: u8,
+    /// L1I data-ready cycle once fetch was issued.
+    fetch_ready: Option<u64>,
+    /// (instruction offset, record id) pairs for branches in this block.
+    recs: [(u8, u64); MAX_BLOCK_RECS],
+    n_recs: u8,
+}
+
+impl FetchBlock {
+    fn rec_at(&self, offset: u8) -> Option<u64> {
+        self.recs[..self.n_recs as usize]
+            .iter()
+            .find(|&&(o, _)| o == offset)
+            .map(|&(_, id)| id)
+    }
+}
+
+/// One µ-op waiting to dispatch.
+#[derive(Clone, Copy, Debug)]
+struct UopQEntry {
+    /// Correct-path position (`None` = wrong path, squashed at dispatch).
+    pos: Option<u64>,
+    ready: u64,
+    rec: Option<u64>,
+}
+
+/// The full-machine simulator for one workload.
+pub struct Simulator<'p> {
+    cfg: SimConfig,
+    prog: &'p Program,
+    oracle: Oracle<'p>,
+    stream: VecDeque<DynInst>,
+    stream_base: u64,
+    now: u64,
+
+    bp: TageScL,
+    bp_hist: HistoryState,
+    ittage: Ittage,
+    it_hist: HistoryState,
+    btb: Btb,
+    ras: Ras,
+    uop_cache: Option<UopCache>,
+    uop_ideal: bool,
+    hier: Hierarchy,
+    prefetcher: Box<dyn InstPrefetcher>,
+    prefetch_pq: BoundedQueue<Addr>,
+    mrc: Option<Mrc>,
+    mrc_filling: bool,
+    mrc_stream_left: u32,
+    ucp: Option<UcpEngine>,
+
+    // Address generation.
+    agen_pc: Addr,
+    agen_pos: Option<u64>,
+    agen_stall_until: u64,
+    agen_dead: bool,
+    agen_window_penalty: u32,
+    pending_mispredict: Option<u64>,
+    demand_btb_banks: u64,
+
+    ftq: BoundedQueue<FetchBlock>,
+    uopq: BoundedQueue<UopQEntry>,
+    mode: Mode,
+    fetch_stall_until: u64,
+    consec_uop_hits: u32,
+    head_delivered: u8,
+    ideal_brcond_left: u32,
+    demand_uop_banks: [bool; 2],
+
+    records: HashMap<u64, PredRecord>,
+    rec_order: VecDeque<u64>,
+    next_rec_id: u64,
+
+    backend: Backend,
+    resolve_q: BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+
+    committed: u64,
+    last_commit_cycle: u64,
+    measuring: bool,
+    stats: SimStats,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator for `prog` under `cfg`, with the workload's
+    /// behavioural `seed`.
+    pub fn new(prog: &'p Program, seed: u64, cfg: &SimConfig) -> Self {
+        let bp = TageScL::new(cfg.bpred);
+        let bp_hist = bp.new_history();
+        let ittage = Ittage::new(IttageParams::main_64k());
+        let it_hist = ittage.new_history();
+        let (uop_cache, uop_ideal) = match &cfg.uop_cache {
+            UopCacheModel::None => (None, false),
+            UopCacheModel::Ideal => (None, true),
+            UopCacheModel::Real(c) => (Some(UopCache::new(c.clone())), false),
+        };
+        let prefetcher: Box<dyn InstPrefetcher> = match cfg.prefetcher {
+            PrefetcherKind::None => Box::new(NoPrefetch),
+            PrefetcherKind::FnlMma => Box::new(FnlMma::new(false)),
+            PrefetcherKind::FnlMmaPlusPlus => Box::new(FnlMma::new(true)),
+            PrefetcherKind::DJolt => Box::new(DJolt::new()),
+            PrefetcherKind::Ep => Box::new(Entangling::new(false)),
+            PrefetcherKind::EpPlusPlus => Box::new(Entangling::new(true)),
+        };
+        let entry = prog.entry();
+        Simulator {
+            oracle: Oracle::new(prog, seed),
+            stream: VecDeque::with_capacity(4096),
+            stream_base: 0,
+            now: 0,
+            bp,
+            bp_hist,
+            ittage,
+            it_hist,
+            btb: Btb::new(cfg.btb.clone()),
+            ras: Ras::new(64),
+            uop_cache,
+            uop_ideal,
+            hier: Hierarchy::new(&cfg.mem),
+            prefetcher,
+            prefetch_pq: BoundedQueue::new(32),
+            mrc: cfg.mrc_entries.map(Mrc::new),
+            mrc_filling: false,
+            mrc_stream_left: 0,
+            ucp: cfg.ucp.enabled.then(|| UcpEngine::new(cfg.ucp.clone())),
+            agen_pc: entry,
+            agen_pos: Some(0),
+            agen_stall_until: 0,
+            agen_dead: false,
+            agen_window_penalty: 0,
+            pending_mispredict: None,
+            demand_btb_banks: 0,
+            ftq: BoundedQueue::new(cfg.frontend.ftq_entries),
+            uopq: BoundedQueue::new(cfg.frontend.uop_queue_entries),
+            mode: Mode::Build,
+            fetch_stall_until: 0,
+            consec_uop_hits: 0,
+            head_delivered: 0,
+            ideal_brcond_left: 0,
+            demand_uop_banks: [false; 2],
+            records: HashMap::with_capacity(1024),
+            rec_order: VecDeque::with_capacity(1024),
+            next_rec_id: 1,
+            backend: Backend::new(cfg.backend.clone()),
+            resolve_q: BinaryHeap::new(),
+            committed: 0,
+            last_commit_cycle: 0,
+            measuring: false,
+            stats: SimStats::default(),
+            prog,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Convenience: build the workload's program and run it.
+    pub fn run_spec(spec: &WorkloadSpec, cfg: &SimConfig, warmup: u64, measure: u64) -> SimStats {
+        let prog = spec.build();
+        let mut sim = Simulator::new(&prog, spec.seed, cfg);
+        sim.run(warmup, measure)
+    }
+
+    /// Runs `warmup` instructions with statistics off, then `measure`
+    /// instructions with statistics on, and returns the collected stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (no commit for 500k cycles) —
+    /// always a simulator bug, never a workload property.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> SimStats {
+        while self.committed < warmup {
+            self.cycle();
+        }
+        // Open the measurement window (warm-up may overshoot by up to one
+        // commit width; measure from the actual boundary).
+        self.measuring = true;
+        let start_cycle = self.now;
+        let start_committed = self.committed;
+        let l1i0 = *self.hier.l1i_stats();
+        let ucp0 = self.ucp.as_ref().map(|u| u.stats.clone());
+        let end = start_committed + measure;
+        while self.committed < end {
+            self.cycle();
+        }
+        self.stats.cycles = self.now - start_cycle;
+        self.stats.instructions = self.committed - start_committed;
+        let l1i = *self.hier.l1i_stats();
+        self.stats.l1i_accesses = (l1i.hits + l1i.misses) - (l1i0.hits + l1i0.misses);
+        self.stats.l1i_misses = l1i.misses - l1i0.misses;
+        if let (Some(u), Some(u0)) = (self.ucp.as_ref(), ucp0.as_ref()) {
+            self.stats.ucp = u.stats.delta_since(u0);
+        }
+        std::mem::take(&mut self.stats)
+    }
+
+    /// The materialized correct-path instruction at absolute position `pos`.
+    fn oracle_at(&mut self, pos: u64) -> DynInst {
+        while self.stream_base + self.stream.len() as u64 <= pos {
+            self.stream.push_back(self.oracle.next_inst());
+        }
+        self.stream[(pos - self.stream_base) as usize]
+    }
+
+    /// One machine cycle.
+    fn cycle(&mut self) {
+        self.demand_uop_banks = [false; 2];
+        self.process_resolutions();
+        self.commit_stage();
+        self.dispatch_stage();
+        self.fetch_schedule_stage();
+        self.deliver_stage();
+        self.ucp_stage();
+        self.agen_stage();
+        self.l1i_prefetch_stage();
+        self.now += 1;
+        assert!(
+            self.now - self.last_commit_cycle < 500_000,
+            "pipeline deadlock at cycle {} (committed {}, agen_dead {}, \
+             pending_mispredict {:?}, rob {}, ftq {}, uopq {})",
+            self.now,
+            self.committed,
+            self.agen_dead,
+            self.pending_mispredict,
+            self.backend.occupancy(),
+            self.ftq.len(),
+            self.uopq.len(),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Resolution & flush
+    // ------------------------------------------------------------------
+
+    fn process_resolutions(&mut self) {
+        // Lazily drop ids of records that resolved without a flush.
+        while let Some(&id) = self.rec_order.front() {
+            if self.records.contains_key(&id) {
+                break;
+            }
+            self.rec_order.pop_front();
+        }
+        while let Some(&std::cmp::Reverse((t, id))) = self.resolve_q.peek() {
+            if t > self.now {
+                break;
+            }
+            self.resolve_q.pop();
+            self.resolve(id);
+        }
+    }
+
+    fn resolve(&mut self, id: u64) {
+        let Some(rec) = self.records.remove(&id) else {
+            return; // already freed by an older flush
+        };
+        debug_assert!(rec.pos.is_some(), "wrong-path records never resolve");
+        // Train predictors with the architectural outcome.
+        match rec.kind {
+            RecKind::Cond => {
+                if let Some(scl) = &rec.scl {
+                    self.bp.update(rec.pc, scl, rec.actual_taken);
+                    if self.measuring {
+                        self.stats.cond_branches += 1;
+                        self.stats.cond_mispredicts += u64::from(rec.mispredicted);
+                        self.stats.record_provider(
+                            scl.provider,
+                            scl.confidence_value(),
+                            rec.mispredicted,
+                        );
+                        self.stats.h2p_tage.marked += u64::from(rec.h2p_tage);
+                        self.stats.h2p_ucp.marked += u64::from(rec.h2p_ucp);
+                        if rec.mispredicted {
+                            self.stats.h2p_tage.mispredicted += 1;
+                            self.stats.h2p_ucp.mispredicted += 1;
+                            self.stats.h2p_tage.marked_mispredicted += u64::from(rec.h2p_tage);
+                            self.stats.h2p_ucp.marked_mispredicted += u64::from(rec.h2p_ucp);
+                        }
+                    }
+                }
+                if let (Some(ucp), Some(alt)) = (self.ucp.as_mut(), rec.alt_scl.as_ref()) {
+                    ucp.train_cond(rec.pc, alt, rec.actual_taken);
+                }
+                if rec.actual_taken {
+                    // Keep the BTB's taken target fresh (and allocate
+                    // never-taken-before branches).
+                    self.btb.insert(
+                        rec.pc,
+                        rec.actual_next,
+                        BranchClass::CondDirect,
+                    );
+                }
+            }
+            RecKind::Indirect { is_call } => {
+                if let Some(itt) = &rec.itt {
+                    self.ittage.update(rec.pc, itt, rec.actual_next);
+                }
+                if let (Some(ucp), Some(alt)) = (self.ucp.as_mut(), rec.alt_itt.as_ref()) {
+                    ucp.train_indirect(rec.pc, alt, rec.actual_next);
+                }
+                self.btb.insert(
+                    rec.pc,
+                    rec.actual_next,
+                    if is_call { BranchClass::IndirectCall } else { BranchClass::IndirectJump },
+                );
+                if self.measuring && rec.mispredicted && !rec.no_target {
+                    self.stats.indirect_mispredicts += 1;
+                }
+            }
+            RecKind::Return => {
+                if self.measuring && rec.mispredicted {
+                    self.stats.indirect_mispredicts += 1;
+                }
+            }
+        }
+        if rec.mispredicted {
+            self.do_flush(rec, id);
+        }
+    }
+
+    fn do_flush(&mut self, rec: PredRecord, rec_id: u64) {
+        let pos = rec.pos.expect("flush on a correct-path record");
+        // Restore speculative state to just before this branch, then apply
+        // the architectural outcome.
+        self.bp_hist.restore(&rec.cp_bp);
+        self.it_hist.restore(&rec.cp_it);
+        self.ras.restore(&rec.cp_ras);
+        let transferred = rec.actual_next != rec.pc.next_inst() || rec.kind != RecKind::Cond;
+        if rec.kind == RecKind::Cond {
+            self.bp_hist.push(rec.actual_taken);
+        }
+        if transferred {
+            push_target_history(&mut self.it_hist, rec.actual_next);
+        }
+        match rec.kind {
+            RecKind::Indirect { is_call: true } => self.ras.push(rec.pc.next_inst()),
+            RecKind::Return => {
+                let _ = self.ras.pop();
+            }
+            _ => {}
+        }
+        if let Some(ucp) = self.ucp.as_mut() {
+            let cps = rec.cp_alt.expect("UCP checkpoints present when enabled");
+            ucp.on_flush(
+                cps,
+                (rec.kind == RecKind::Cond).then_some(rec.actual_taken),
+                transferred.then_some(rec.actual_next),
+            );
+        }
+        // Free every younger record (creation order is id order, so pop
+        // from the back until we reach the flushed record itself).
+        while let Some(&id) = self.rec_order.back() {
+            self.rec_order.pop_back();
+            self.records.remove(&id);
+            if id == rec_id {
+                break;
+            }
+        }
+        self.ftq.clear();
+        self.uopq.clear();
+        self.head_delivered = 0;
+        self.agen_pc = rec.actual_next;
+        self.agen_pos = Some(pos + 1);
+        self.agen_dead = false;
+        self.pending_mispredict = None;
+        self.agen_stall_until = self.now + self.cfg.frontend.redirect_penalty;
+        self.prefetcher.on_redirect();
+        if rec.kind == RecKind::Cond {
+            if let Some(n) = self.cfg.ideal_brcond {
+                self.ideal_brcond_left = n;
+            }
+            if let Some(mrc) = self.mrc.as_mut() {
+                if let Some(uops) = mrc.lookup(rec.actual_next) {
+                    self.mrc_stream_left = uops;
+                    if self.measuring {
+                        self.stats.mrc_streamed_uops += u64::from(uops);
+                    }
+                }
+                mrc.allocate(rec.actual_next);
+                self.mrc_filling = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit & dispatch
+    // ------------------------------------------------------------------
+
+    fn commit_stage(&mut self) {
+        let retired = self.backend.commit(self.now);
+        for e in &retired {
+            debug_assert_eq!(e.pos, self.stream_base, "in-order commit");
+            self.stream.pop_front();
+            self.stream_base += 1;
+            self.committed += 1;
+            if self.mrc_filling {
+                if let Some(mrc) = self.mrc.as_mut() {
+                    mrc.fill_uop();
+                }
+            }
+        }
+        if !retired.is_empty() {
+            self.last_commit_cycle = self.now;
+        }
+    }
+
+    fn dispatch_stage(&mut self) {
+        let mut budget = self.cfg.frontend.dispatch_width;
+        while budget > 0 {
+            let Some(e) = self.uopq.front().copied() else {
+                break;
+            };
+            if e.ready > self.now {
+                break;
+            }
+            let Some(pos) = e.pos else {
+                // Wrong-path µ-op: squashed at dispatch.
+                self.uopq.pop();
+                budget -= 1;
+                continue;
+            };
+            if !self.backend.has_space() {
+                break;
+            }
+            let d = self.oracle_at(pos);
+            let mem_ready = match d.inst.kind {
+                InstKind::Load => match self.hier.access_data(d.mem_addr, self.now + 1, false) {
+                    Ok(a) => Some(a.ready),
+                    Err(_) => break, // L1D MSHR full: retry next cycle
+                },
+                InstKind::Store => {
+                    // Stores update cache state in the background.
+                    let _ = self.hier.access_data(d.mem_addr, self.now + 1, true);
+                    None
+                }
+                _ => None,
+            };
+            let complete = self.backend.dispatch(self.now, &d, pos, mem_ready, e.rec);
+            if let Some(rec) = e.rec {
+                self.resolve_q.push(std::cmp::Reverse((complete, rec)));
+            }
+            self.uopq.pop();
+            budget -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch scheduling (FDP run-ahead) and delivery
+    // ------------------------------------------------------------------
+
+    /// Issues L1I fetches for FTQ blocks ahead of delivery — this is what
+    /// makes the frontend *decoupled*: L1I misses (including wrong-path
+    /// ones) overlap, and the standalone prefetcher observes the stream.
+    fn fetch_schedule_stage(&mut self) {
+        let mut issued = 0;
+        let mut scanned = 0;
+        for i in 0..self.ftq.len() {
+            if issued >= self.cfg.frontend.l1i_fetches_per_cycle || scanned >= 8 {
+                break;
+            }
+            let Some(blk) = self.ftq.get(i).copied() else {
+                break;
+            };
+            scanned += 1;
+            if blk.fetch_ready.is_some() {
+                continue;
+            }
+            // Blocks already resident in the µ-op cache skip the L1I.
+            if !self.uop_ideal {
+                if let Some(uc) = &self.uop_cache {
+                    if uc.probe(blk.start) {
+                        self.demand_uop_banks[uc.bank_of(blk.start)] = true;
+                        if let Some(b) = self.ftq.get_mut(i) {
+                            b.fetch_ready = Some(self.now);
+                        }
+                        continue;
+                    }
+                }
+            } else {
+                if let Some(b) = self.ftq.get_mut(i) {
+                    b.fetch_ready = Some(self.now);
+                }
+                continue;
+            }
+            match self.hier.access_inst(blk.start, self.now, false) {
+                Ok(acc) => {
+                    self.prefetcher.on_access(blk.start.line(), acc.level == HitLevel::L1);
+                    if let Some(b) = self.ftq.get_mut(i) {
+                        b.fetch_ready = Some(acc.ready);
+                    }
+                    issued += 1;
+                }
+                Err(_) => break, // MSHR full
+            }
+        }
+    }
+
+    /// `true` if the head block should be treated as a µ-op cache hit.
+    fn head_block_hits(&mut self, blk: &FetchBlock) -> (bool, bool, u64) {
+        // Returns (hit, counts_as_forced, trigger_of_prefetched_entry).
+        if self.uop_ideal {
+            return (true, true, 0);
+        }
+        if self.ideal_brcond_left > 0 || self.mrc_stream_left > 0 {
+            return (true, true, 0);
+        }
+        if let Some(uc) = self.uop_cache.as_mut() {
+            self.demand_uop_banks[uc.bank_of(blk.start)] = true;
+            if self.measuring {
+                self.stats.uop_lookups += 1;
+            }
+            if let Some(hit) = uc.lookup(blk.start) {
+                if hit.num_uops >= blk.n {
+                    if self.measuring {
+                        self.stats.uop_hits += 1;
+                    }
+                    let trig = if hit.first_prefetch_use { hit.trigger } else { 0 };
+                    return (true, false, trig);
+                }
+            }
+            if self.cfg.l1i_hits_ideal && self.hier.probe_l1i(blk.start) {
+                return (true, true, 0);
+            }
+            (false, false, 0)
+        } else {
+            (false, false, 0)
+        }
+    }
+
+    fn deliver_block_uops(&mut self, blk: FetchBlock, ready: u64, from_cache: bool) -> bool {
+        // Room check first: a block is delivered atomically.
+        if self.uopq.free() < blk.n as usize {
+            return false;
+        }
+        for i in 0..blk.n {
+            let pos = if i < blk.diverge_at { blk.pos.map(|p| p + u64::from(i)) } else { None };
+            let rec = blk.rec_at(i);
+            self.uopq.push(UopQEntry { pos, ready, rec }).expect("room checked above");
+        }
+        if self.measuring {
+            if from_cache {
+                self.stats.uops_from_uop_cache += u64::from(blk.n);
+            } else {
+                self.stats.uops_from_decode += u64::from(blk.n);
+            }
+        }
+        true
+    }
+
+    fn switch_mode(&mut self, to: Mode) {
+        self.mode = to;
+        self.consec_uop_hits = 0;
+        self.fetch_stall_until = self.now + 1 + self.cfg.frontend.mode_switch_penalty;
+        if self.measuring {
+            self.stats.mode_switches += 1;
+        }
+    }
+
+    fn deliver_stage(&mut self) {
+        if self.now < self.fetch_stall_until {
+            return;
+        }
+        let mut cache_uops = self.cfg.frontend.uops_from_cache_per_cycle;
+        let mut decode_uops = self.cfg.frontend.decode_width;
+        let mut windows = self.cfg.frontend.windows_per_cycle;
+        let has_uop_path = self.uop_ideal || self.uop_cache.is_some();
+        loop {
+            let Some(blk) = self.ftq.front().copied() else {
+                break;
+            };
+            match self.mode {
+                Mode::Stream => {
+                    if windows == 0 || cache_uops < u32::from(blk.n) {
+                        break;
+                    }
+                    let (hit, forced, trig) = self.head_block_hits(&blk);
+                    if hit {
+                        if !self.deliver_block_uops(blk, self.now + self.cfg.frontend.uop_path_delay, true) {
+                            break;
+                        }
+                        if trig != 0 {
+                            if let Some(ucp) = self.ucp.as_mut() {
+                                ucp.record_entry_use(trig);
+                            }
+                        }
+                        if forced {
+                            self.consume_forced(&blk);
+                        }
+                        self.ftq.pop();
+                        windows -= 1;
+                        cache_uops -= u32::from(blk.n);
+                        continue;
+                    }
+                    self.switch_mode(Mode::Build);
+                    break;
+                }
+                Mode::Build => {
+                    // Parallel µ-op cache probe at block starts.
+                    if has_uop_path && self.head_delivered == 0 && windows > 0 && cache_uops >= u32::from(blk.n)
+                    {
+                        let (hit, forced, trig) = self.head_block_hits(&blk);
+                        if hit {
+                            if !self.deliver_block_uops(
+                                blk,
+                                self.now + self.cfg.frontend.uop_path_delay,
+                                true,
+                            ) {
+                                break;
+                            }
+                            if trig != 0 {
+                                if let Some(ucp) = self.ucp.as_mut() {
+                                    ucp.record_entry_use(trig);
+                                }
+                            }
+                            if forced {
+                                self.consume_forced(&blk);
+                            }
+                            self.ftq.pop();
+                            windows -= 1;
+                            cache_uops -= u32::from(blk.n);
+                            self.consec_uop_hits += 1;
+                            if self.consec_uop_hits >= self.cfg.frontend.stream_switch_hits {
+                                self.switch_mode(Mode::Stream);
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                    // Decode (slow) path.
+                    self.consec_uop_hits = 0;
+                    let ready = match blk.fetch_ready {
+                        Some(r) => r,
+                        None => match self.hier.access_inst(blk.start, self.now, false) {
+                            Ok(acc) => {
+                                self.prefetcher
+                                    .on_access(blk.start.line(), acc.level == HitLevel::L1);
+                                if let Some(b) = self.ftq.front_mut() {
+                                    b.fetch_ready = Some(acc.ready);
+                                }
+                                acc.ready
+                            }
+                            Err(_) => break,
+                        },
+                    };
+                    if ready > self.now {
+                        break;
+                    }
+                    let remaining = blk.n - self.head_delivered;
+                    let take = (remaining as u32).min(decode_uops) as u8;
+                    if take == 0 {
+                        break;
+                    }
+                    // Deliver `take` µ-ops of the head block.
+                    if self.uopq.free() < take as usize {
+                        break;
+                    }
+                    let base_ready = self.now + self.cfg.frontend.decode_path_delay;
+                    for k in 0..take {
+                        let i = self.head_delivered + k;
+                        let pos = if i < blk.diverge_at {
+                            blk.pos.map(|p| p + u64::from(i))
+                        } else {
+                            None
+                        };
+                        let rec = blk.rec_at(i);
+                        self.uopq
+                            .push(UopQEntry { pos, ready: base_ready, rec })
+                            .expect("room checked");
+                    }
+                    if self.measuring {
+                        self.stats.uops_from_decode += u64::from(take);
+                    }
+                    decode_uops -= u32::from(take);
+                    self.head_delivered += take;
+                    if self.head_delivered == blk.n {
+                        // Block fully decoded: build µ-op cache entries.
+                        if let Some(uc) = self.uop_cache.as_mut() {
+                            for spec in build_entries(self.prog, blk.start, blk.n, false, 0) {
+                                uc.insert(spec);
+                            }
+                        }
+                        self.consume_forced(&blk);
+                        self.ftq.pop();
+                        self.head_delivered = 0;
+                    }
+                    if decode_uops == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decrements the IdealBRCond / MRC forced-hit allowances by the
+    /// contents of a delivered block.
+    fn consume_forced(&mut self, blk: &FetchBlock) {
+        if self.ideal_brcond_left > 0 {
+            self.ideal_brcond_left = self.ideal_brcond_left.saturating_sub(u32::from(blk.n_cond));
+        }
+        if self.mrc_stream_left > 0 {
+            self.mrc_stream_left = self.mrc_stream_left.saturating_sub(u32::from(blk.n));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // UCP engine
+    // ------------------------------------------------------------------
+
+    fn ucp_stage(&mut self) {
+        let Some(ucp) = self.ucp.as_mut() else {
+            return;
+        };
+        let out = ucp.cycle(
+            self.now,
+            self.prog,
+            &self.btb,
+            self.uop_cache.as_mut(),
+            &mut self.hier,
+            self.demand_uop_banks,
+            self.demand_btb_banks,
+            self.mode == Mode::Stream,
+        );
+        if out.demand_window_steal {
+            self.agen_window_penalty = 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Address generation (the BPU of Fig. 1)
+    // ------------------------------------------------------------------
+
+    fn agen_stage(&mut self) {
+        self.demand_btb_banks = 0;
+        if self.now < self.agen_stall_until || self.agen_dead {
+            return;
+        }
+        let mut windows = self.cfg.frontend.windows_per_cycle;
+        if self.agen_window_penalty > 0 {
+            windows = windows.saturating_sub(self.agen_window_penalty);
+            self.agen_window_penalty = 0;
+        }
+        for _ in 0..windows {
+            if self.ftq.is_full() || self.agen_dead || self.now < self.agen_stall_until {
+                break;
+            }
+            if let Some(blk) = self.gen_block() {
+                let _ = self.ftq.push(blk);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn new_record(&mut self, rec: PredRecord) -> u64 {
+        let id = self.next_rec_id;
+        self.next_rec_id += 1;
+        self.records.insert(id, rec);
+        self.rec_order.push_back(id);
+        id
+    }
+
+    /// Generates one fetch block along the current (predicted) path.
+    fn gen_block(&mut self) -> Option<FetchBlock> {
+        let start = self.agen_pc;
+        let window_end = Addr::new(start.uop_window().raw() + 32);
+        let pos0 = self.agen_pos;
+        let mut pc = start;
+        let mut cur_pos = pos0;
+        let mut n: u8 = 0;
+        let mut n_cond: u8 = 0;
+        let mut diverge_at = u8::MAX;
+        // `next` is definitely assigned on every loop exit path.
+        let next;
+        let mut recs = [(0u8, 0u64); MAX_BLOCK_RECS];
+        let mut n_recs: u8 = 0;
+
+        loop {
+            if pc == window_end || n == 8 {
+                next = pc;
+                break;
+            }
+            let Some(inst) = self.prog.inst_at(pc) else {
+                // Wrong path walked off the code image: nothing to fetch.
+                self.agen_dead = true;
+                next = pc;
+                break;
+            };
+            let inst = *inst;
+            let Some(class) = inst.kind.branch_class() else {
+                n += 1;
+                pc = pc.next_inst();
+                if let Some(p) = cur_pos {
+                    cur_pos = Some(p + 1);
+                }
+                continue;
+            };
+            // Branch: make sure we can attach a record if one is needed.
+            let needs_record = !matches!(class, BranchClass::UncondDirect | BranchClass::Call);
+            if needs_record && n_recs as usize == MAX_BLOCK_RECS {
+                next = pc;
+                break;
+            }
+            let offset = n;
+            n += 1;
+            n_cond += u8::from(class == BranchClass::CondDirect);
+            self.demand_btb_banks |= 1u64 << (self.btb.bank_of(pc) as u64 % 64);
+            let btb_entry = self.btb.lookup(pc);
+
+            // BTB-miss re-steer modelling (discovered at predecode): charge
+            // the re-steer bubble for taken control flow.
+            let btb_missed = btb_entry.is_none();
+
+            // Checkpoints before any speculative update for this branch.
+            let cp_bp = self.bp_hist.checkpoint();
+            let cp_it = self.it_hist.checkpoint();
+            let cp_ras = self.ras.checkpoint();
+            let cp_alt = self.ucp.as_ref().map(|u| u.checkpoints());
+
+            let (predicted_taken, predicted_next, kind, scl, itt, alt_scl, alt_itt, h2p_t, h2p_u, no_target);
+            match class {
+                BranchClass::CondDirect => {
+                    let target = inst.kind.direct_target().expect("cond direct");
+                    let p = self.bp.predict(&self.bp_hist, pc);
+                    let h2p_tage_f = TageConf.is_h2p(&p);
+                    let h2p_ucp_f = UcpConf.is_h2p(&p);
+                    // UCP trigger happens before the mirror push (the
+                    // alternate GHR starts from the pre-branch state).
+                    let mut a_scl = None;
+                    if let Some(ucp) = self.ucp.as_mut() {
+                        // Trigger only on the demand path the paper's
+                        // model fetches: ChampSim's frontend stops at an
+                        // unresolved misprediction, so wrong-path H2P
+                        // branches never preempt a live walk there.
+                        if cur_pos.is_some() && ucp.is_h2p(&p) {
+                            let alt_target = if p.taken {
+                                pc.next_inst()
+                            } else {
+                                btb_entry.map(|e| e.target).unwrap_or(target)
+                            };
+                            ucp.trigger(alt_target, p.taken, &self.ras);
+                        }
+                        a_scl = Some(ucp.on_cond_predicted(pc, p.taken));
+                    }
+                    self.bp_hist.push(p.taken);
+                    predicted_taken = p.taken;
+                    predicted_next = if p.taken { target } else { pc.next_inst() };
+                    if p.taken {
+                        push_target_history(&mut self.it_hist, target);
+                        if let Some(ucp) = self.ucp.as_mut() {
+                            let _ = ucp.on_taken_target(pc, target, false);
+                        }
+                        if btb_missed {
+                            self.charge_resteer();
+                            self.btb.insert(pc, target, class);
+                        }
+                    }
+                    kind = RecKind::Cond;
+                    scl = Some(p);
+                    itt = None;
+                    alt_scl = a_scl;
+                    alt_itt = None;
+                    h2p_t = h2p_tage_f;
+                    h2p_u = h2p_ucp_f;
+                    no_target = false;
+                }
+                BranchClass::UncondDirect | BranchClass::Call => {
+                    let target = inst.kind.direct_target().expect("direct");
+                    if class == BranchClass::Call {
+                        self.ras.push(pc.next_inst());
+                    }
+                    push_target_history(&mut self.it_hist, target);
+                    if let Some(ucp) = self.ucp.as_mut() {
+                        let _ = ucp.on_taken_target(pc, target, false);
+                    }
+                    if btb_missed {
+                        self.charge_resteer();
+                        self.btb.insert(pc, target, class);
+                    }
+                    // Direct unconditional flow cannot mispredict: no record.
+                    next = target;
+                    if let Some(p) = cur_pos {
+                        // Verify against the oracle (must always match).
+                        let d = self.oracle_at(p);
+                        debug_assert_eq!(d.pc, pc, "agen desynchronized from the oracle");
+                        debug_assert_eq!(d.next_pc, target);
+                    }
+                    self.agen_pos = if diverge_at != u8::MAX { None } else { cur_pos.map(|p| p + 1) };
+                    self.agen_pc = next;
+                    return Some(FetchBlock {
+                        start,
+                        n,
+                        n_cond,
+                        pos: pos0,
+                        diverge_at,
+                        fetch_ready: None,
+                        recs,
+                        n_recs,
+                    });
+                }
+                BranchClass::Return => {
+                    let ras_target = self.ras.pop();
+                    let fallback = btb_entry.map(|e| e.target).filter(|t| !t.is_null());
+                    let t = ras_target.or(fallback);
+                    if btb_missed {
+                        self.charge_resteer();
+                        self.btb.insert(pc, t.unwrap_or(Addr::NULL), class);
+                    }
+                    match t {
+                        Some(t) => {
+                            predicted_taken = true;
+                            predicted_next = t;
+                            push_target_history(&mut self.it_hist, t);
+                            if let Some(ucp) = self.ucp.as_mut() {
+                                let _ = ucp.on_taken_target(pc, t, false);
+                            }
+                            no_target = false;
+                        }
+                        None => {
+                            predicted_taken = true;
+                            predicted_next = Addr::NULL;
+                            no_target = true;
+                        }
+                    }
+                    kind = RecKind::Return;
+                    scl = None;
+                    itt = None;
+                    alt_scl = None;
+                    alt_itt = None;
+                    h2p_t = false;
+                    h2p_u = false;
+                }
+                BranchClass::IndirectJump | BranchClass::IndirectCall => {
+                    let is_call = class == BranchClass::IndirectCall;
+                    let p = self.ittage.predict(&self.it_hist, pc);
+                    let fallback = btb_entry.map(|e| e.target).filter(|t| !t.is_null());
+                    let t = p.target.or(fallback);
+                    if btb_missed {
+                        self.charge_resteer();
+                    }
+                    let mut a_itt = None;
+                    match t {
+                        Some(t) => {
+                            if is_call {
+                                self.ras.push(pc.next_inst());
+                            }
+                            if let Some(ucp) = self.ucp.as_mut() {
+                                a_itt = ucp.on_taken_target(pc, t, true);
+                            }
+                            push_target_history(&mut self.it_hist, t);
+                            predicted_taken = true;
+                            predicted_next = t;
+                            no_target = false;
+                        }
+                        None => {
+                            predicted_taken = true;
+                            predicted_next = Addr::NULL;
+                            no_target = true;
+                        }
+                    }
+                    kind = RecKind::Indirect { is_call };
+                    scl = None;
+                    itt = Some(p);
+                    alt_scl = None;
+                    alt_itt = a_itt;
+                    h2p_t = false;
+                    h2p_u = false;
+                }
+            }
+
+            // Oracle comparison (only meaningful on the correct path).
+            let (actual_taken, actual_next, mispredicted) = match cur_pos {
+                Some(p) => {
+                    let d = self.oracle_at(p);
+                    let mis = no_target || d.next_pc != predicted_next;
+                    (d.taken, d.next_pc, mis)
+                }
+                None => (predicted_taken, predicted_next, false),
+            };
+
+            let id = self.new_record(PredRecord {
+                pc,
+                kind,
+                pos: cur_pos,
+                actual_taken,
+                actual_next,
+                mispredicted,
+                no_target,
+                cp_bp,
+                cp_it,
+                cp_ras,
+                cp_alt,
+                scl,
+                itt,
+                alt_scl,
+                alt_itt,
+                h2p_tage: h2p_t,
+                h2p_ucp: h2p_u,
+            });
+            recs[n_recs as usize] = (offset, id);
+            n_recs += 1;
+
+            if mispredicted && self.pending_mispredict.is_none() {
+                self.pending_mispredict = Some(id);
+                if self.measuring && no_target {
+                    self.stats.btb_resteers += 1;
+                }
+            }
+
+            if no_target {
+                // Cannot continue without a target: fetch stalls until the
+                // branch executes (resolution redirects).
+                self.agen_dead = true;
+                pc = pc.next_inst();
+                next = pc;
+                break;
+            }
+
+            // Advance the walk along the predicted path.
+            let was_on_correct = cur_pos.is_some();
+            if was_on_correct && mispredicted {
+                // Everything after this instruction is wrong-path.
+                if diverge_at == u8::MAX {
+                    diverge_at = n;
+                }
+                cur_pos = None;
+            } else if let Some(p) = cur_pos {
+                cur_pos = Some(p + 1);
+            }
+
+            pc = pc.next_inst();
+            if predicted_taken {
+                next = predicted_next;
+                break;
+            }
+        }
+
+        self.agen_pc = next;
+        self.agen_pos = if diverge_at != u8::MAX { None } else { cur_pos };
+        if n == 0 {
+            return None;
+        }
+        Some(FetchBlock {
+            start,
+            n,
+            n_cond,
+            pos: pos0,
+            diverge_at,
+            fetch_ready: None,
+            recs,
+            n_recs,
+        })
+    }
+
+    fn charge_resteer(&mut self) {
+        self.agen_stall_until =
+            (self.now + self.cfg.frontend.btb_resteer_penalty).max(self.agen_stall_until);
+        if self.measuring {
+            self.stats.btb_resteers += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Standalone L1I prefetcher queue
+    // ------------------------------------------------------------------
+
+    fn l1i_prefetch_stage(&mut self) {
+        let mut buf = Vec::new();
+        self.prefetcher.drain(&mut buf);
+        for line in buf {
+            let _ = self.prefetch_pq.push(line);
+        }
+        if let Some(&line) = self.prefetch_pq.front() {
+            if self.hier.probe_l1i(line) {
+                self.prefetch_pq.pop();
+            } else if self.hier.access_inst(line, self.now, true).is_ok() {
+                self.prefetch_pq.pop();
+                if self.measuring {
+                    self.stats.l1i_prefetches_issued += 1;
+                }
+            }
+        }
+    }
+}

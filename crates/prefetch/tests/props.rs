@@ -1,0 +1,95 @@
+//! Property-based tests for the instruction prefetchers: output sanity
+//! (line-aligned, bounded volume), determinism, and trait-level contracts
+//! that the pipeline relies on.
+
+use proptest::prelude::*;
+use sim_isa::Addr;
+use ucp_prefetch::{by_name, InstPrefetcher, Mrc};
+
+const NAMES: [&str; 6] = ["NONE", "FNL-MMA", "FNL-MMA++", "D-JOLT", "EP", "EP++"];
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..512, any::<bool>()), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All prefetchers emit 64 B-aligned line addresses and never emit an
+    /// unbounded number of candidates per access.
+    #[test]
+    fn outputs_are_line_aligned_and_bounded(stream in arb_stream(), which in 0usize..6) {
+        let mut p = by_name(NAMES[which]).expect("known name");
+        let mut out = Vec::new();
+        for &(l, hit) in &stream {
+            p.on_access(Addr::new(0x10_0000 + l * 64), hit);
+            let before = out.len();
+            p.drain(&mut out);
+            prop_assert!(out.len() - before <= 64, "flood from one access");
+            for a in &out[before..] {
+                prop_assert_eq!(a.raw() % 64, 0, "prefetch must be line-aligned");
+            }
+        }
+    }
+
+    /// Identical streams produce identical prefetch sequences.
+    #[test]
+    fn prefetchers_are_deterministic(stream in arb_stream(), which in 1usize..6) {
+        let mut p1 = by_name(NAMES[which]).expect("known");
+        let mut p2 = by_name(NAMES[which]).expect("known");
+        let mut o1 = Vec::new();
+        let mut o2 = Vec::new();
+        for &(l, hit) in &stream {
+            let a = Addr::new(0x20_0000 + l * 64);
+            p1.on_access(a, hit);
+            p2.on_access(a, hit);
+            p1.drain(&mut o1);
+            p2.drain(&mut o2);
+            prop_assert_eq!(&o1, &o2);
+        }
+    }
+
+    /// Redirects never panic and leave the prefetcher functional.
+    #[test]
+    fn redirects_are_safe(stream in arb_stream(), which in 0usize..6) {
+        let mut p = by_name(NAMES[which]).expect("known");
+        let mut out = Vec::new();
+        for (i, &(l, hit)) in stream.iter().enumerate() {
+            p.on_access(Addr::new(0x30_0000 + l * 64), hit);
+            if i % 7 == 0 {
+                p.on_redirect();
+            }
+            p.drain(&mut out);
+        }
+        // Still alive and reporting storage.
+        let _ = p.storage_bits();
+    }
+
+    /// MRC: a lookup can only hit a target that was previously allocated,
+    /// and streamed-µ-op counts never exceed the entry capacity.
+    #[test]
+    fn mrc_only_returns_allocated_targets(
+        ops in proptest::collection::vec((0u64..16, any::<bool>(), 0u8..80), 1..200),
+    ) {
+        let mut m = Mrc::new(4);
+        let mut allocated = std::collections::HashSet::new();
+        for &(t, alloc, fills) in &ops {
+            let target = Addr::new(0x5000 + t * 4);
+            if alloc {
+                m.allocate(target);
+                allocated.insert(target);
+                for _ in 0..fills {
+                    m.fill_uop();
+                }
+            } else {
+                match m.lookup(target) {
+                    Some(n) => {
+                        prop_assert!(allocated.contains(&target), "hit on never-allocated target");
+                        prop_assert!(n <= ucp_prefetch::mrc::MRC_UOPS_PER_ENTRY as u32);
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+}

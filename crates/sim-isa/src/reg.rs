@@ -1,0 +1,73 @@
+//! Architectural registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of architectural registers (integer + FP file, flat namespace).
+pub const NUM_REGS: u8 = 64;
+
+/// An architectural register identifier in `0..NUM_REGS`.
+///
+/// # Examples
+///
+/// ```
+/// use sim_isa::Reg;
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= NUM_REGS`.
+    #[inline]
+    pub fn new(id: u8) -> Self {
+        assert!(id < NUM_REGS, "register id {id} out of range");
+        Reg(id)
+    }
+
+    /// The register's index, suitable for scoreboard lookup.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for i in 0..NUM_REGS {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(NUM_REGS);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+    }
+}

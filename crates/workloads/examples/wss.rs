@@ -1,0 +1,33 @@
+use std::collections::HashMap;
+use ucp_workloads::{suite, Oracle};
+
+fn main() {
+    for n in ["srv00", "srv10", "int02", "crypto01"] {
+        let spec = suite::by_name(n).unwrap();
+        let p = spec.build();
+        let mut o = Oracle::new(&p, spec.seed);
+        let mut windows: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..1_000_000 {
+            let d = o.next_inst();
+            *windows.entry(d.pc.raw() >> 5).or_default() += 1;
+        }
+        let mut counts: Vec<u64> = windows.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let mut acc = 0u64;
+        let mut w90 = 0usize;
+        for (i, c) in counts.iter().enumerate() {
+            acc += c;
+            if acc * 10 >= total * 9 {
+                w90 = i + 1;
+                break;
+            }
+        }
+        println!(
+            "{n}: distinct_windows={} w90={} static_windows={}",
+            counts.len(),
+            w90,
+            p.footprint_bytes() / 32
+        );
+    }
+}

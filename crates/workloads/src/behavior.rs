@@ -1,0 +1,249 @@
+//! Deterministic behaviour models attached to branches and memory operations.
+//!
+//! Behaviours are evaluated by the [`Oracle`](crate::Oracle) with
+//! per-instruction occurrence counters, so the dynamic stream is a pure
+//! function of `(program, seed)` — no ambient randomness, fully
+//! reproducible.
+
+use serde::{Deserialize, Serialize};
+use sim_isa::Addr;
+
+/// SplitMix64 — the stateless hash used for all behavioural randomness.
+///
+/// Deterministic and well distributed; good enough to make "hard" branches
+/// genuinely hard for a TAGE-SC-L predictor.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Returns a deterministic pseudo-random event with probability
+/// `prob_milli / 1000`, keyed by `key`.
+#[inline]
+pub fn hash_event(key: u64, prob_milli: u16) -> bool {
+    (splitmix64(key) % 1000) < u64::from(prob_milli)
+}
+
+/// Behaviour of a conditional branch.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CondBehavior {
+    /// Taken with probability `taken_prob_milli / 1000`, independently per
+    /// occurrence. Probabilities near 0/1000 model easy biased branches;
+    /// mid-range values model data-dependent hard-to-predict branches.
+    Biased {
+        /// Taken probability in per-mille.
+        taken_prob_milli: u16,
+    },
+    /// Backward loop branch: taken `trip - 1` times, then not taken once.
+    /// When `min_trip != max_trip` the trip count is re-drawn (deterministic
+    /// hash of the exit count) after every exit, which defeats the loop
+    /// predictor while remaining partially TAGE-predictable.
+    Loop {
+        /// Minimum trip count (inclusive), `>= 1`.
+        min_trip: u32,
+        /// Maximum trip count (inclusive), `>= min_trip`.
+        max_trip: u32,
+    },
+    /// Periodic direction pattern of `len` bits, indexed by occurrence
+    /// count. Highly predictable by global-history predictors.
+    Pattern {
+        /// Pattern bits, LSB first.
+        bits: u64,
+        /// Period in `1..=64`.
+        len: u8,
+    },
+    /// Repeats the most recent outcome of another conditional branch
+    /// (identified by instruction index), optionally inverted, with a small
+    /// per-mille noise flip. Predictable given enough global history.
+    Correlated {
+        /// Instruction index of the branch this one follows.
+        other: u32,
+        /// Whether the outcome is inverted.
+        invert: bool,
+        /// Probability (per-mille) of flipping the outcome anyway.
+        noise_milli: u16,
+    },
+}
+
+/// Behaviour of an indirect jump or indirect call.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndirectBehavior {
+    /// Always the same target (monomorphic call site).
+    Mono {
+        /// The single target.
+        target: Addr,
+    },
+    /// Rotates through the target list by occurrence count — predictable by
+    /// ITTAGE via global history.
+    Rotate {
+        /// Targets rotated through.
+        targets: Box<[Addr]>,
+    },
+    /// Picks a pseudo-random target per occurrence — hard for any predictor.
+    Scramble {
+        /// Candidate targets.
+        targets: Box<[Addr]>,
+    },
+}
+
+impl IndirectBehavior {
+    /// All targets this site can produce.
+    pub fn targets(&self) -> &[Addr] {
+        match self {
+            IndirectBehavior::Mono { target } => std::slice::from_ref(target),
+            IndirectBehavior::Rotate { targets } | IndirectBehavior::Scramble { targets } => {
+                targets
+            }
+        }
+    }
+
+    /// The target for occurrence `occ` under seed `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a polymorphic behaviour was constructed with an empty
+    /// target list (the generator never does).
+    pub fn target(&self, occ: u64, seed: u64) -> Addr {
+        match self {
+            IndirectBehavior::Mono { target } => *target,
+            IndirectBehavior::Rotate { targets } => targets[(occ % targets.len() as u64) as usize],
+            IndirectBehavior::Scramble { targets } => {
+                let i = splitmix64(seed ^ occ.wrapping_mul(0x9e3779b1)) % targets.len() as u64;
+                targets[i as usize]
+            }
+        }
+    }
+}
+
+/// Behaviour of a load or store's effective address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemBehavior {
+    /// Strided stream: `base + (occ * stride) % span`.
+    Stride {
+        /// Region base address.
+        base: u64,
+        /// Stride in bytes.
+        stride: u32,
+        /// Region size in bytes (wraps).
+        span: u32,
+    },
+    /// Pseudo-random address within `[base, base + span)`.
+    RandomIn {
+        /// Region base address.
+        base: u64,
+        /// Region size in bytes.
+        span: u32,
+    },
+}
+
+impl MemBehavior {
+    /// The effective address for occurrence `occ` under seed `seed`,
+    /// 8-byte aligned.
+    pub fn addr(&self, occ: u64, seed: u64) -> Addr {
+        let raw = match *self {
+            MemBehavior::Stride { base, stride, span } => {
+                base + (occ.wrapping_mul(u64::from(stride))) % u64::from(span.max(8))
+            }
+            MemBehavior::RandomIn { base, span } => {
+                base + splitmix64(seed ^ occ) % u64::from(span.max(8))
+            }
+        };
+        Addr::new(raw & !7)
+    }
+}
+
+/// Behaviour attached to one instruction slot (at most one per instruction).
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Behavior {
+    /// No behaviour (plain compute instruction or direct jump/call).
+    #[default]
+    None,
+    /// Conditional-branch direction model.
+    Cond(CondBehavior),
+    /// Indirect-target model.
+    Indirect(IndirectBehavior),
+    /// Memory-address model.
+    Mem(MemBehavior),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        // Crude spread check over low bits.
+        let ones = (0..1000u64).filter(|&i| splitmix64(i) & 1 == 1).count();
+        assert!((400..600).contains(&ones), "bit bias: {ones}");
+    }
+
+    #[test]
+    fn hash_event_matches_probability() {
+        let hits = (0..10_000u64).filter(|&i| hash_event(i, 250)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((0.22..0.28).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn hash_event_extremes() {
+        assert!(!(0..1000u64).any(|i| hash_event(i, 0)));
+        assert!((0..1000u64).all(|i| hash_event(i, 1000)));
+    }
+
+    #[test]
+    fn mono_indirect_is_constant() {
+        let b = IndirectBehavior::Mono { target: Addr::new(0x40) };
+        for occ in 0..10 {
+            assert_eq!(b.target(occ, 7), Addr::new(0x40));
+        }
+        assert_eq!(b.targets(), &[Addr::new(0x40)]);
+    }
+
+    #[test]
+    fn rotate_cycles_through_targets() {
+        let ts: Box<[Addr]> = vec![Addr::new(0x10), Addr::new(0x20), Addr::new(0x30)].into();
+        let b = IndirectBehavior::Rotate { targets: ts };
+        assert_eq!(b.target(0, 0), Addr::new(0x10));
+        assert_eq!(b.target(1, 0), Addr::new(0x20));
+        assert_eq!(b.target(2, 0), Addr::new(0x30));
+        assert_eq!(b.target(3, 0), Addr::new(0x10));
+    }
+
+    #[test]
+    fn scramble_covers_all_targets() {
+        let ts: Box<[Addr]> = (0..4).map(|i| Addr::new(0x100 + i * 0x10)).collect();
+        let b = IndirectBehavior::Scramble { targets: ts };
+        let mut seen = std::collections::HashSet::new();
+        for occ in 0..200 {
+            seen.insert(b.target(occ, 99));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn stride_wraps_in_span() {
+        let m = MemBehavior::Stride { base: 0x1000, stride: 64, span: 256 };
+        for occ in 0..20 {
+            let a = m.addr(occ, 0).raw();
+            assert!((0x1000..0x1100).contains(&a));
+            assert_eq!(a % 8, 0);
+        }
+        assert_eq!(m.addr(0, 0).raw(), 0x1000);
+        assert_eq!(m.addr(1, 0).raw(), 0x1040);
+        assert_eq!(m.addr(4, 0).raw(), 0x1000);
+    }
+
+    #[test]
+    fn random_in_stays_in_region() {
+        let m = MemBehavior::RandomIn { base: 0x20_0000, span: 4096 };
+        for occ in 0..100 {
+            let a = m.addr(occ, 5).raw();
+            assert!((0x20_0000..0x20_1000).contains(&a));
+        }
+    }
+}

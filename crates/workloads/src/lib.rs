@@ -1,0 +1,45 @@
+//! Synthetic workloads standing in for the CVP-1 datacenter traces.
+//!
+//! The paper evaluates UCP on 306 Qualcomm datacenter traces from the first
+//! Championship on Value Prediction (CVP-1). Those traces are not
+//! redistributable, so this crate synthesizes *programs* with the properties
+//! the paper measures:
+//!
+//! * large static code footprints (tens of KB to ~1 MB of hot code) that
+//!   oversubscribe a 4Kops µ-op cache,
+//! * deep, DAG-shaped call graphs with direct and indirect calls,
+//! * a controlled mix of conditional-branch behaviours — strongly biased,
+//!   loop, periodic-pattern, correlated, and genuinely hard-to-predict —
+//!   yielding conditional MPKIs in the paper's 1.5–6 range,
+//! * strided and irregular data accesses.
+//!
+//! Because a workload is a full static program plus deterministic behaviour
+//! models (not a linear trace), the simulator can walk **any** path through
+//! the code: the correct path (via [`Oracle`]), the wrong path after a
+//! misprediction, and the alternate path that UCP prefetches.
+//!
+//! Everything is seeded and deterministic: the same [`WorkloadSpec`] always
+//! produces the same [`Program`] and the same dynamic instruction stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use ucp_workloads::{suite, Oracle};
+//!
+//! let spec = &suite::workload_suite()[0];
+//! let program = spec.build();
+//! let mut oracle = Oracle::new(&program, spec.seed);
+//! let first = oracle.next_inst();
+//! assert_eq!(first.pc, program.entry());
+//! ```
+
+pub mod behavior;
+pub mod gen;
+pub mod oracle;
+pub mod program;
+pub mod suite;
+
+pub use behavior::{Behavior, CondBehavior, IndirectBehavior, MemBehavior};
+pub use gen::{CondMix, WorkloadSpec};
+pub use oracle::Oracle;
+pub use program::Program;

@@ -1,0 +1,214 @@
+//! The static program image: densely laid out instructions plus behaviours.
+
+use crate::behavior::Behavior;
+use sim_isa::{Addr, StaticInst, INST_BYTES};
+
+/// Base address at which programs are laid out.
+pub const PROGRAM_BASE: u64 = 0x0001_0000;
+
+/// A static program: instructions laid out densely from [`PROGRAM_BASE`],
+/// with one optional [`Behavior`] per instruction.
+///
+/// The whole image is addressable, which is what lets the simulator walk
+/// speculative paths (wrong path, alternate path) through real code.
+#[derive(Clone, Debug)]
+pub struct Program {
+    base: Addr,
+    insts: Vec<StaticInst>,
+    behaviors: Vec<Behavior>,
+    entry: Addr,
+}
+
+impl Program {
+    /// Assembles a program from instructions and their parallel behaviours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length, if the program is empty,
+    /// or if `entry` is out of range.
+    pub fn new(insts: Vec<StaticInst>, behaviors: Vec<Behavior>, entry: Addr) -> Self {
+        assert_eq!(insts.len(), behaviors.len(), "behaviour table length mismatch");
+        assert!(!insts.is_empty(), "empty program");
+        let p = Program { base: Addr::new(PROGRAM_BASE), insts, behaviors, entry };
+        assert!(p.index_of(entry).is_some(), "entry point outside program");
+        p
+    }
+
+    /// First address of the program image.
+    #[inline]
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// The execution entry point (the driver function).
+    #[inline]
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// Number of static instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the program holds no instructions (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Static code footprint in bytes.
+    #[inline]
+    pub fn footprint_bytes(&self) -> u64 {
+        self.insts.len() as u64 * INST_BYTES
+    }
+
+    /// One-past-the-end address of the image.
+    #[inline]
+    pub fn end(&self) -> Addr {
+        Addr::new(self.base.raw() + self.footprint_bytes())
+    }
+
+    /// Index of the instruction at `pc`, or `None` if `pc` is outside the
+    /// image or misaligned.
+    #[inline]
+    pub fn index_of(&self, pc: Addr) -> Option<usize> {
+        let raw = pc.raw();
+        let base = self.base.raw();
+        if raw < base || raw % INST_BYTES != 0 {
+            return None;
+        }
+        let idx = ((raw - base) / INST_BYTES) as usize;
+        (idx < self.insts.len()).then_some(idx)
+    }
+
+    /// Address of the instruction at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn addr_of(&self, idx: usize) -> Addr {
+        assert!(idx < self.insts.len());
+        Addr::new(self.base.raw() + idx as u64 * INST_BYTES)
+    }
+
+    /// The instruction at `pc`, if inside the image.
+    #[inline]
+    pub fn inst_at(&self, pc: Addr) -> Option<&StaticInst> {
+        self.index_of(pc).map(|i| &self.insts[i])
+    }
+
+    /// The behaviour of the instruction at index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn behavior(&self, idx: usize) -> &Behavior {
+        &self.behaviors[idx]
+    }
+
+    /// All instructions, in layout order.
+    #[inline]
+    pub fn insts(&self) -> &[StaticInst] {
+        &self.insts
+    }
+
+    /// Iterates `(address, instruction)` pairs in layout order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, &StaticInst)> + '_ {
+        self.insts
+            .iter()
+            .enumerate()
+            .map(move |(i, inst)| (self.addr_of(i), inst))
+    }
+
+    /// Sanity-checks internal consistency: every direct branch target lands
+    /// inside the image on an instruction boundary. Returns the number of
+    /// branches checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a direct target is out of range.
+    pub fn validate(&self) -> usize {
+        let mut checked = 0;
+        for (pc, inst) in self.iter() {
+            if let Some(t) = inst.kind.direct_target() {
+                assert!(
+                    self.index_of(t).is_some(),
+                    "branch at {pc} targets {t}, outside program"
+                );
+                checked += 1;
+            }
+        }
+        checked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::{ExecClass, InstKind};
+
+    fn tiny() -> Program {
+        let insts = vec![
+            StaticInst::new(InstKind::Op(ExecClass::Alu)),
+            StaticInst::new(InstKind::Jump { target: Addr::new(PROGRAM_BASE) }),
+        ];
+        let behaviors = vec![Behavior::None, Behavior::None];
+        Program::new(insts, behaviors, Addr::new(PROGRAM_BASE))
+    }
+
+    #[test]
+    fn index_addr_round_trip() {
+        let p = tiny();
+        for i in 0..p.len() {
+            assert_eq!(p.index_of(p.addr_of(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn out_of_range_lookups_fail() {
+        let p = tiny();
+        assert_eq!(p.index_of(Addr::new(PROGRAM_BASE - 4)), None);
+        assert_eq!(p.index_of(p.end()), None);
+        assert_eq!(p.index_of(Addr::new(PROGRAM_BASE + 1)), None, "misaligned");
+        assert!(p.inst_at(Addr::new(0)).is_none());
+    }
+
+    #[test]
+    fn footprint_matches_len() {
+        let p = tiny();
+        assert_eq!(p.footprint_bytes(), 8);
+        assert_eq!(p.end().raw(), PROGRAM_BASE + 8);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_in_range_targets() {
+        assert_eq!(tiny().validate(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside program")]
+    fn validate_rejects_wild_targets() {
+        let insts = vec![StaticInst::new(InstKind::Jump { target: Addr::new(0x10) })];
+        let p = Program::new(insts, vec![Behavior::None], Addr::new(PROGRAM_BASE));
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_tables_rejected() {
+        let insts = vec![StaticInst::new(InstKind::Op(ExecClass::Alu))];
+        let _ = Program::new(insts, vec![], Addr::new(PROGRAM_BASE));
+    }
+
+    #[test]
+    fn iter_yields_layout_order() {
+        let p = tiny();
+        let addrs: Vec<_> = p.iter().map(|(a, _)| a).collect();
+        assert_eq!(addrs, vec![Addr::new(PROGRAM_BASE), Addr::new(PROGRAM_BASE + 4)]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Branch-prediction confidence study: drive the TAGE-SC-L predictor
+//! standalone over a workload's branch stream and compare the two H2P
+//! estimators (§IV-A / Fig. 9) plus the per-component miss rates (Fig. 6).
+//!
+//! This example uses the predictor API directly — no pipeline — showing
+//! how the `ucp-bpred` crate works as an independent library.
+//!
+//! ```text
+//! cargo run --release --example h2p_confidence
+//! ```
+
+use std::collections::BTreeMap;
+use ucp_sim::bpred::{
+    ConfidenceEstimator, Provider, SclPreset, TageConf, TageScL, UcpConf,
+};
+use ucp_sim::isa::InstKind;
+use ucp_sim::workloads::{suite, Oracle};
+
+fn main() {
+    let spec = suite::by_name("int03").expect("int03 is in the suite");
+    let program = spec.build();
+    let mut oracle = Oracle::new(&program, spec.seed);
+
+    let mut bp = TageScL::new(SclPreset::Main64K);
+    let mut hist = bp.new_history();
+
+    let mut per_provider: BTreeMap<Provider, (u64, u64)> = BTreeMap::new();
+    let mut tage_conf = (0u64, 0u64, 0u64); // (marked, marked+mis, mis)
+    let mut ucp_conf = (0u64, 0u64, 0u64);
+    let mut branches = 0u64;
+
+    for _ in 0..3_000_000u64 {
+        let d = oracle.next_inst();
+        if !matches!(d.inst.kind, InstKind::CondBranch { .. }) {
+            continue;
+        }
+        branches += 1;
+        let pred = bp.predict(&hist, d.pc);
+        let mispredicted = pred.taken != d.taken;
+        let e = per_provider.entry(pred.provider).or_default();
+        e.0 += 1;
+        e.1 += u64::from(mispredicted);
+        for (est, acc) in [
+            (&TageConf as &dyn ConfidenceEstimator, &mut tage_conf),
+            (&UcpConf as &dyn ConfidenceEstimator, &mut ucp_conf),
+        ] {
+            let marked = est.is_h2p(&pred);
+            acc.0 += u64::from(marked);
+            acc.1 += u64::from(marked && mispredicted);
+            acc.2 += u64::from(mispredicted);
+        }
+        bp.update(d.pc, &pred, d.taken);
+        hist.push(d.taken);
+    }
+
+    println!("{} conditional branches predicted on {}\n", branches, spec.name);
+    println!("per-provider miss rates (paper Fig. 6/7):");
+    let total_misses: u64 = per_provider.values().map(|v| v.1).sum();
+    for (p, (n, m)) in &per_provider {
+        println!(
+            "  {p:<16} {:>6.2}% of predictions, {:>5.1}% miss rate, {:>5.1}% of all misses",
+            100.0 * *n as f64 / branches as f64,
+            100.0 * *m as f64 / (*n).max(1) as f64,
+            100.0 * *m as f64 / total_misses.max(1) as f64,
+        );
+    }
+    println!("\nH2P estimators (paper Fig. 9: TAGE-Conf 48.5%/12%, UCP-Conf 70%/14.66%):");
+    for (name, (marked, mm, mis)) in [("TAGE-Conf", tage_conf), ("UCP-Conf", ucp_conf)] {
+        println!(
+            "  {name:<10} coverage {:>5.1}%  accuracy {:>5.1}%",
+            100.0 * mm as f64 / mis.max(1) as f64,
+            100.0 * mm as f64 / marked.max(1) as f64,
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Prefetcher shoot-out: UCP against the IPC1 standalone L1I prefetchers
+//! and the MRC on a datacenter workload, with their storage budgets —
+//! a single-workload slice of the paper's Fig. 16 cost/benefit analysis.
+//!
+//! ```text
+//! cargo run --release --example prefetcher_shootout
+//! ```
+
+use ucp_sim::core::{PrefetcherKind, SimConfig, Simulator};
+use ucp_sim::workloads::suite;
+
+fn main() {
+    let spec = suite::by_name("srv06").expect("srv06 is in the suite");
+    let warmup = 200_000;
+    let measure = 800_000;
+    let base = Simulator::run_spec(&spec, &SimConfig::baseline(), warmup, measure);
+    println!(
+        "workload {}: baseline IPC {:.3}, L1I miss rate {:.1}%\n",
+        spec.name,
+        base.ipc(),
+        base.l1i_miss_rate_pct()
+    );
+    println!(
+        "{:<22} {:>9} {:>9} {:>10} {:>9}",
+        "config", "IPC", "speedup", "extra KB", "L1I miss"
+    );
+
+    let mut entries: Vec<(String, SimConfig)> = Vec::new();
+    for pk in [
+        PrefetcherKind::FnlMma,
+        PrefetcherKind::FnlMmaPlusPlus,
+        PrefetcherKind::DJolt,
+        PrefetcherKind::Ep,
+        PrefetcherKind::EpPlusPlus,
+    ] {
+        let mut cfg = SimConfig::baseline();
+        cfg.prefetcher = pk;
+        entries.push((pk.name().to_owned(), cfg));
+    }
+    {
+        let mut cfg = SimConfig::baseline();
+        cfg.mrc_entries = Some(256); // the paper's 66 KB point
+        entries.push(("MRC-66KB".to_owned(), cfg));
+    }
+    entries.push(("UCP-NoIndirect".to_owned(), SimConfig::ucp_no_ind()));
+    entries.push(("UCP".to_owned(), SimConfig::ucp()));
+
+    for (name, cfg) in entries {
+        let s = Simulator::run_spec(&spec, &cfg, warmup, measure);
+        println!(
+            "{name:<22} {:>9.3} {:>+8.2}% {:>10.2} {:>8.1}%",
+            s.ipc(),
+            (s.ipc() / base.ipc() - 1.0) * 100.0,
+            cfg.extra_storage_kb(),
+            s.l1i_miss_rate_pct()
+        );
+    }
+    println!("\npaper Fig. 16: the UCP flavours sit on the storage/speedup Pareto front.");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: simulate one workload under the Table II baseline and under
+//! UCP, and print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ucp_sim::core::{SimConfig, Simulator};
+use ucp_sim::workloads::suite;
+
+fn main() {
+    // Pick a datacenter-class workload from the evaluation suite.
+    let spec = suite::by_name("srv03").expect("srv03 is in the suite");
+    let program = spec.build();
+    println!(
+        "workload {} — {} static instructions ({} KB of code)",
+        spec.name,
+        program.len(),
+        program.footprint_bytes() / 1024
+    );
+
+    let warmup = 200_000;
+    let measure = 800_000;
+
+    // Table II baseline: 4Kops µ-op cache, 64 KB TAGE-SC-L, no prefetching.
+    let base = Simulator::run_spec(&spec, &SimConfig::baseline(), warmup, measure);
+    // The paper's proposal: alternate-path µ-op cache prefetching.
+    let ucp = Simulator::run_spec(&spec, &SimConfig::ucp(), warmup, measure);
+
+    println!("baseline: IPC {:.3}", base.ipc());
+    println!("  uop cache hit rate {:.1}%", base.uop_hit_rate_pct());
+    println!("  mode switches      {:.2} PKI", base.switch_pki());
+    println!("  conditional MPKI   {:.2}", base.cond_mpki());
+    println!("UCP:      IPC {:.3} ({:+.2}%)", ucp.ipc(), (ucp.ipc() / base.ipc() - 1.0) * 100.0);
+    println!("  uop cache hit rate {:.1}%", ucp.uop_hit_rate_pct());
+    println!("  alternate paths    {}", ucp.ucp.walks_started);
+    println!("  entries prefetched {}", ucp.ucp.entries_inserted);
+    println!("  prefetch accuracy  {:.1}%", ucp.ucp.prefetch_accuracy_pct());
+    println!(
+        "  H2P detector       coverage {:.1}%, accuracy {:.1}%",
+        ucp.h2p_ucp.coverage_pct(),
+        ucp.h2p_ucp.accuracy_pct()
+    );
+    println!(
+        "UCP hardware overhead: {:.2} KB (paper: 12.95 KB)",
+        SimConfig::ucp().extra_storage_kb()
+    );
+}

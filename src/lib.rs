@@ -1,0 +1,35 @@
+//! # ucp-sim — Alternate Path µ-op Cache Prefetching, reproduced in Rust
+//!
+//! This is the umbrella crate of the UCP reproduction (ISCA 2024, Singh,
+//! Perais, Jimborean, Ros). It re-exports every workspace crate so examples
+//! and downstream users need a single dependency:
+//!
+//! * [`isa`] — the fixed-width ISA model,
+//! * [`workloads`] — the synthetic-workload generator and oracle executor,
+//! * [`bpred`] — TAGE-SC-L, ITTAGE and confidence estimation,
+//! * [`mem`] — caches, MSHRs, TLBs and DRAM,
+//! * [`frontend`] — BTB, RAS, FTQ and the µ-op cache,
+//! * [`prefetch`] — FNL+MMA, D-JOLT, the Entangling prefetcher and MRC,
+//! * [`core`] — the cycle-level pipeline, the UCP engine, configuration,
+//!   statistics and the experiment runner.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ucp_sim::core::{Simulator, SimConfig};
+//! use ucp_sim::workloads::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::tiny("demo", 1);
+//! let mut cfg = SimConfig::baseline();
+//! cfg.ucp.enabled = true;
+//! let stats = Simulator::run_spec(&spec, &cfg, 20_000, 50_000);
+//! println!("IPC = {:.3}", stats.ipc());
+//! ```
+
+pub use sim_isa as isa;
+pub use ucp_bpred as bpred;
+pub use ucp_core as core;
+pub use ucp_frontend as frontend;
+pub use ucp_mem as mem;
+pub use ucp_prefetch as prefetch;
+pub use ucp_workloads as workloads;

@@ -1,0 +1,242 @@
+//! Cross-crate integration tests: drive the full simulator end-to-end and
+//! check the system-level behaviours the paper's evaluation relies on.
+
+use ucp_sim::core::{ConfKind, PrefetcherKind, SimConfig, Simulator, UopCacheModel};
+use ucp_sim::frontend::UopCacheConfig;
+use ucp_sim::workloads::WorkloadSpec;
+
+const WARMUP: u64 = 30_000;
+const MEASURE: u64 = 120_000;
+
+/// A small-footprint, loopy workload (µ-op cache friendly).
+fn loopy_spec() -> WorkloadSpec {
+    let mut s = WorkloadSpec::tiny("it-loopy", 11);
+    s.loop_milli = 300;
+    s.loop_trip = (8, 40);
+    s
+}
+
+/// A flat, larger-footprint workload (µ-op cache hostile) — a miniature of
+/// the suite's server class.
+fn flat_spec() -> WorkloadSpec {
+    let mut s = WorkloadSpec::tiny("it-flat", 12);
+    s.num_funcs = 160;
+    s.stmts_per_func = (8, 16);
+    s.dispatch_milli = 500;
+    s.dispatch_fanout = (8, 14);
+    s.loop_milli = 60;
+    s.call_milli = 120;
+    s
+}
+
+#[test]
+fn runs_exactly_the_requested_instructions() {
+    let s = Simulator::run_spec(&loopy_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
+    // The final cycle may overshoot by at most one commit width.
+    assert!((MEASURE..MEASURE + 16).contains(&s.instructions), "{}", s.instructions);
+    assert!(s.cycles > 0);
+}
+
+#[test]
+fn end_to_end_determinism() {
+    let cfg = SimConfig::ucp();
+    let a = Simulator::run_spec(&flat_spec(), &cfg, WARMUP, MEASURE);
+    let b = Simulator::run_spec(&flat_spec(), &cfg, WARMUP, MEASURE);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.cond_mispredicts, b.cond_mispredicts);
+    assert_eq!(a.ucp.entries_inserted, b.ucp.entries_inserted);
+}
+
+#[test]
+fn uop_cache_helps_a_loopy_workload() {
+    let no_uc = Simulator::run_spec(&loopy_spec(), &SimConfig::no_uop_cache(), WARMUP, MEASURE);
+    let base = Simulator::run_spec(&loopy_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
+    assert!(
+        base.ipc() > no_uc.ipc(),
+        "4Kops µ-op cache must help: {} vs {}",
+        base.ipc(),
+        no_uc.ipc()
+    );
+    assert!(base.uop_hit_rate_pct() > 90.0, "loopy code must stream: {}", base.uop_hit_rate_pct());
+}
+
+#[test]
+fn ideal_uop_cache_dominates_real() {
+    let mut ideal = SimConfig::baseline();
+    ideal.uop_cache = UopCacheModel::Ideal;
+    let r = Simulator::run_spec(&flat_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
+    let i = Simulator::run_spec(&flat_spec(), &ideal, WARMUP, MEASURE);
+    assert!(i.ipc() >= r.ipc() * 0.999, "ideal {} vs real {}", i.ipc(), r.ipc());
+    assert!((i.uop_hit_rate_pct() - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn bigger_uop_cache_raises_hit_rate() {
+    let base = Simulator::run_spec(&flat_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
+    let mut big = SimConfig::baseline();
+    big.uop_cache = UopCacheModel::Real(UopCacheConfig::kops(32));
+    let b = Simulator::run_spec(&flat_spec(), &big, WARMUP, MEASURE);
+    assert!(
+        b.uop_hit_rate_pct() > base.uop_hit_rate_pct() + 5.0,
+        "32Kops {} vs 4Kops {}",
+        b.uop_hit_rate_pct(),
+        base.uop_hit_rate_pct()
+    );
+}
+
+#[test]
+fn flat_footprint_oversubscribes_the_uop_cache() {
+    let s = Simulator::run_spec(&flat_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
+    assert!(
+        s.uop_hit_rate_pct() < 90.0,
+        "flat workload must thrash a 4Kops cache: {}",
+        s.uop_hit_rate_pct()
+    );
+    assert!(s.mode_switches > 0, "stream/build mode must alternate");
+}
+
+#[test]
+fn no_uop_cache_never_switches_modes() {
+    let s = Simulator::run_spec(&flat_spec(), &SimConfig::no_uop_cache(), WARMUP, MEASURE);
+    assert_eq!(s.mode_switches, 0);
+    assert_eq!(s.uops_from_uop_cache, 0);
+    assert!(s.uops_from_decode >= MEASURE);
+}
+
+#[test]
+fn ucp_prefetches_and_entries_get_used() {
+    let s = Simulator::run_spec(&flat_spec(), &SimConfig::ucp(), WARMUP, MEASURE);
+    assert!(s.ucp.walks_started > 50, "H2P triggers expected: {}", s.ucp.walks_started);
+    assert!(s.ucp.entries_inserted > 100, "prefetched entries: {}", s.ucp.entries_inserted);
+    assert!(
+        s.ucp.timely_used + s.ucp.late_used > 0,
+        "some prefetched entries must be demanded"
+    );
+}
+
+#[test]
+fn ucp_till_l1i_never_fills_the_uop_cache() {
+    let mut cfg = SimConfig::ucp();
+    cfg.ucp.till_l1i = true;
+    let s = Simulator::run_spec(&flat_spec(), &cfg, WARMUP, MEASURE);
+    assert!(s.ucp.lines_prefetched > 0, "L1I prefetches must still flow");
+    assert_eq!(s.ucp.entries_inserted, 0, "TillL1I must not decode/insert");
+}
+
+#[test]
+fn ucp_without_alt_ind_stops_at_indirect_branches() {
+    let s = Simulator::run_spec(&flat_spec(), &SimConfig::ucp_no_ind(), WARMUP, MEASURE);
+    assert!(
+        s.ucp.stopped_indirect > 0,
+        "walks must stop at indirect branches without Alt-Ind"
+    );
+}
+
+#[test]
+fn tage_conf_triggers_are_a_different_population() {
+    let mut tage = SimConfig::ucp();
+    tage.ucp.conf = ConfKind::Tage;
+    let a = Simulator::run_spec(&flat_spec(), &SimConfig::ucp(), WARMUP, MEASURE);
+    let b = Simulator::run_spec(&flat_spec(), &tage, WARMUP, MEASURE);
+    assert_ne!(a.ucp.walks_started, b.ucp.walks_started);
+}
+
+#[test]
+fn h2p_coverage_and_accuracy_are_sane() {
+    let s = Simulator::run_spec(&flat_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
+    for h in [&s.h2p_tage, &s.h2p_ucp] {
+        assert!(h.mispredicted > 0);
+        assert!(h.coverage_pct() >= 0.0 && h.coverage_pct() <= 100.0);
+        assert!(h.accuracy_pct() >= 0.0 && h.accuracy_pct() <= 100.0);
+    }
+    // The UCP estimator tracks or exceeds the original's coverage (on the
+    // full suite it exceeds it; tiny workloads leave a little noise).
+    assert!(
+        s.h2p_ucp.coverage_pct() >= s.h2p_tage.coverage_pct() - 5.0,
+        "ucp {} vs tage {}",
+        s.h2p_ucp.coverage_pct(),
+        s.h2p_tage.coverage_pct()
+    );
+}
+
+#[test]
+fn ideal_brcond_idealization_helps() {
+    let base = Simulator::run_spec(&flat_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
+    let mut cfg = SimConfig::baseline();
+    cfg.ideal_brcond = Some(16);
+    let i = Simulator::run_spec(&flat_spec(), &cfg, WARMUP, MEASURE);
+    assert!(
+        i.ipc() >= base.ipc(),
+        "perfect post-mispredict refill cannot hurt: {} vs {}",
+        i.ipc(),
+        base.ipc()
+    );
+}
+
+#[test]
+fn l1i_hits_idealization_raises_uop_hit_rate() {
+    let base = Simulator::run_spec(&flat_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
+    let mut cfg = SimConfig::baseline();
+    cfg.l1i_hits_ideal = true;
+    let i = Simulator::run_spec(&flat_spec(), &cfg, WARMUP, MEASURE);
+    assert!(
+        i.uop_hit_rate_pct() > base.uop_hit_rate_pct(),
+        "{} vs {}",
+        i.uop_hit_rate_pct(),
+        base.uop_hit_rate_pct()
+    );
+}
+
+/// A very large, flat workload whose code misses the L1I constantly.
+fn huge_spec() -> WorkloadSpec {
+    let mut s = flat_spec();
+    s.num_funcs = 420;
+    s.dispatch_fanout = (10, 16);
+    s
+}
+
+#[test]
+fn standalone_prefetcher_cuts_l1i_misses() {
+    let base = Simulator::run_spec(&huge_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
+    assert!(base.l1i_miss_rate_pct() > 3.0, "premise: L1I must thrash, got {}", base.l1i_miss_rate_pct());
+    let mut cfg = SimConfig::baseline();
+    cfg.prefetcher = PrefetcherKind::Ep;
+    let p = Simulator::run_spec(&huge_spec(), &cfg, WARMUP, MEASURE);
+    assert!(p.l1i_prefetches_issued > 0);
+    assert!(
+        p.l1i_miss_rate_pct() < base.l1i_miss_rate_pct(),
+        "EP must reduce L1I misses: {} vs {}",
+        p.l1i_miss_rate_pct(),
+        base.l1i_miss_rate_pct()
+    );
+}
+
+#[test]
+fn mrc_streams_uops_on_mispredictions() {
+    let mut cfg = SimConfig::baseline();
+    cfg.mrc_entries = Some(256);
+    let s = Simulator::run_spec(&flat_spec(), &cfg, WARMUP, MEASURE);
+    assert!(s.mrc_streamed_uops > 0, "the MRC must hit on recurring mispredictions");
+}
+
+#[test]
+fn provider_attribution_covers_all_mispredictions() {
+    let s = Simulator::run_spec(&flat_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
+    let misses: u64 = s.provider_totals.values().map(|b| b.misses).sum();
+    let preds: u64 = s.provider_totals.values().map(|b| b.preds).sum();
+    assert_eq!(misses, s.cond_mispredicts, "every miss must be attributed");
+    assert_eq!(preds, s.cond_branches, "every prediction must be attributed");
+}
+
+#[test]
+fn uop_sources_account_for_all_committed_instructions() {
+    let s = Simulator::run_spec(&flat_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
+    // Fetch delivers at least what commits (wrong-path µ-ops add more).
+    assert!(s.uops_from_uop_cache + s.uops_from_decode >= s.instructions);
+}
+
+#[test]
+fn ucp_storage_overheads_match_the_paper() {
+    assert!((SimConfig::ucp().extra_storage_kb() - 12.95).abs() < 2.0);
+    assert!((SimConfig::ucp_no_ind().extra_storage_kb() - 8.95).abs() < 2.0);
+}
