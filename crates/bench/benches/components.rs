@@ -91,5 +91,11 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tage, bench_oracle, bench_uop_cache, bench_simulator);
+criterion_group!(
+    benches,
+    bench_tage,
+    bench_oracle,
+    bench_uop_cache,
+    bench_simulator
+);
 criterion_main!(benches);

@@ -20,7 +20,10 @@ fn geo(base: &[RunResult], new: &[RunResult]) -> f64 {
 
 fn main() {
     let profile = Profile::from_env();
-    println!("=== ablations: model-knob sensitivity [profile {}] ===", profile.tag());
+    println!(
+        "=== ablations: model-knob sensitivity [profile {}] ===",
+        profile.tag()
+    );
 
     // 1. Stream-switch hysteresis: how many consecutive µ-op cache hits in
     //    build mode before returning to stream mode.
@@ -31,7 +34,10 @@ fn main() {
         cfg.frontend.stream_switch_hits = hits;
         let r = cached_suite_run(&cfg, profile);
         let pki: f64 = r.iter().map(|x| x.stats.switch_pki()).sum::<f64>() / r.len() as f64;
-        println!("  hits={hits}: speedup vs default {:+.2}%, switch PKI {pki:.2}", geo(&ref_base, &r));
+        println!(
+            "  hits={hits}: speedup vs default {:+.2}%, switch PKI {pki:.2}",
+            geo(&ref_base, &r)
+        );
     }
 
     // 2. Mode-switch penalty (the paper uses 1 cycle, per §V).
@@ -40,7 +46,10 @@ fn main() {
         let mut cfg = SimConfig::baseline();
         cfg.frontend.mode_switch_penalty = pen;
         let r = cached_suite_run(&cfg, profile);
-        println!("  penalty={pen}: speedup vs default {:+.2}%", geo(&ref_base, &r));
+        println!(
+            "  penalty={pen}: speedup vs default {:+.2}%",
+            geo(&ref_base, &r)
+        );
     }
 
     // 3. The µ-op path / decode path depth gap — the source of the µ-op

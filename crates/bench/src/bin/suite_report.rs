@@ -7,7 +7,9 @@
 //! ```
 
 use std::collections::HashMap;
-use ucp_bench::Profile;
+use ucp_bench::{cached_suite_run, merged_telemetry, Profile};
+use ucp_core::SimConfig;
+use ucp_telemetry::snapshot_table;
 use ucp_workloads::Oracle;
 
 fn main() {
@@ -64,4 +66,18 @@ fn main() {
         "\n(dyn.wins = distinct 32B windows in {insts} instructions; w90 = windows covering 90% \
          of fetches; a 4Kops uop cache holds 512 window entries)"
     );
+
+    // Suite-wide telemetry under the UCP configuration (cached like every
+    // figure run; per-workload snapshots live in the result cache).
+    let results = cached_suite_run(&SimConfig::ucp(), profile);
+    let total = merged_telemetry(&results);
+    println!(
+        "\naggregate telemetry (UCP config, {} workloads):",
+        results.len()
+    );
+    if total.is_empty() {
+        println!("  (empty — cache predates telemetry; rerun with UCP_NO_CACHE=1)");
+    } else {
+        print!("{}", snapshot_table(&total));
+    }
 }

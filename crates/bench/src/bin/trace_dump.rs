@@ -1,0 +1,85 @@
+//! Runs one workload with event tracing on and dumps the trace.
+//!
+//! ```text
+//! cargo run --release -p ucp-bench --bin trace_dump -- [WORKLOAD] [OUT]
+//! ```
+//!
+//! - `WORKLOAD` — suite workload name (default: the first quick-suite
+//!   workload). `--list` prints the available names.
+//! - `OUT` — output path. `.jsonl` selects the line-delimited format;
+//!   anything else gets Chrome trace-event JSON, loadable in Perfetto
+//!   (<https://ui.perfetto.dev>) or `chrome://tracing`. Default
+//!   `target/ucp-trace.json`.
+//!
+//! Environment: `UCP_TRACE` selects categories (default `all` here —
+//! unlike the simulator library, this tool exists to trace);
+//! `UCP_TRACE_BUF` sets the ring-buffer capacity; `UCP_SIM_WARMUP` /
+//! `UCP_SIM_INSTRUCTIONS` override run lengths.
+
+use ucp_bench::Profile;
+use ucp_core::{run_lengths, SimConfig, Simulator};
+use ucp_telemetry::{snapshot_table, to_chrome_trace, to_jsonl, Telemetry};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let suite = Profile::from_env().suite();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for s in &suite {
+            println!("{}", s.name);
+        }
+        return;
+    }
+    let spec = match args.first() {
+        Some(name) => suite
+            .iter()
+            .find(|s| &s.name == name)
+            .unwrap_or_else(|| {
+                eprintln!("unknown workload `{name}`; try --list");
+                std::process::exit(2);
+            })
+            .clone(),
+        None => suite[0].clone(),
+    };
+    let out_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "target/ucp-trace.json".to_string());
+
+    let categories = std::env::var("UCP_TRACE").unwrap_or_else(|_| "all".to_string());
+    let capacity = std::env::var("UCP_TRACE_BUF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(65536);
+    let telemetry = Telemetry::with_trace(&categories, capacity);
+
+    let (warmup, measure) = run_lengths(0.2);
+    let cfg = SimConfig::ucp();
+    let prog = spec.build();
+    let mut sim = Simulator::with_telemetry(&prog, spec.seed, &cfg, telemetry.clone());
+    let (stats, window) = sim.run_instrumented(warmup, measure);
+
+    let events = telemetry.tracer.events();
+    let text = if out_path.ends_with(".jsonl") {
+        to_jsonl(&events)
+    } else {
+        to_chrome_trace(&events)
+    };
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, text).expect("write trace file");
+
+    println!(
+        "{}: {} events ({} dropped) over {} cycles, IPC {:.3} -> {}",
+        spec.name,
+        events.len(),
+        telemetry.tracer.dropped(),
+        stats.cycles,
+        stats.ipc(),
+        out_path
+    );
+    println!(
+        "\nmeasurement-window counters:\n{}",
+        snapshot_table(&window)
+    );
+}

@@ -67,7 +67,13 @@ pub fn fig03(profile: Profile) -> String {
     let base = cached_suite_run(&SimConfig::baseline(), profile);
     let mut rows: Vec<(String, f64, f64)> = base
         .iter()
-        .map(|r| (r.workload.clone(), r.stats.uop_hit_rate_pct(), r.stats.switch_pki()))
+        .map(|r| {
+            (
+                r.workload.clone(),
+                r.stats.uop_hit_rate_pct(),
+                r.stats.switch_pki(),
+            )
+        })
         .collect();
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
     for (name, hit, pki) in &rows {
@@ -103,7 +109,10 @@ pub fn fig04(profile: Profile) -> String {
     let mut ideal = SimConfig::baseline();
     ideal.uop_cache = UopCacheModel::Ideal;
     let r = cached_suite_run(&ideal, profile);
-    out += &format!("  ideal: speedup {:+.2}%  hit rate 100.0%\n", geomean(&base, &r));
+    out += &format!(
+        "  ideal: speedup {:+.2}%  hit rate 100.0%\n",
+        geomean(&base, &r)
+    );
     let base_hit: Vec<f64> = base.iter().map(|x| x.stats.uop_hit_rate_pct()).collect();
     out += &format!("  (4Kops baseline hit rate {:.1}%)\n", amean(&base_hit));
     out
@@ -198,7 +207,10 @@ pub fn fig07(profile: Profile) -> String {
     }
     for p in Provider::ALL {
         let m = misses.get(&p).copied().unwrap_or(0);
-        out += &format!("  {p:<16} {:>6.2}%\n", 100.0 * m as f64 / total.max(1) as f64);
+        out += &format!(
+            "  {p:<16} {:>6.2}%\n",
+            100.0 * m as f64 / total.max(1) as f64
+        );
     }
     out
 }
@@ -216,7 +228,10 @@ pub fn fig08() -> String {
     let alt_ras = Ras::new(16);
     out += &format!("  Alt-BP (TAGE-SC-L)   {:>7.2} KB\n", alt_bp.storage_kb());
     out += &format!("  Alt-Ind (ITTAGE)     {:>7.2} KB\n", alt_ind.storage_kb());
-    out += &format!("  Alt-RAS (16 entries) {:>7.2} KB\n", alt_ras.storage_bits() as f64 / 8192.0);
+    out += &format!(
+        "  Alt-RAS (16 entries) {:>7.2} KB\n",
+        alt_ras.storage_bits() as f64 / 8192.0
+    );
     out += "  Alt-FTQ (24 entries)    0.14 KB (queue of uop-window addresses)\n";
     out += "  uop cache MSHR (32)     0.19 KB\n";
     out += "  L1I PQ (32)             0.25 KB\n";
@@ -340,7 +355,11 @@ pub fn fig12(profile: Profile) -> String {
         let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         (geomean(&base, r), min, max)
     };
-    for (name, r) in [("UCP", &ucp), ("UCP-NoIND", &no_ind), ("UCP(TAGE-Conf)", &tage_conf)] {
+    for (name, r) in [
+        ("UCP", &ucp),
+        ("UCP-NoIND", &no_ind),
+        ("UCP(TAGE-Conf)", &tage_conf),
+    ] {
         let (g, min, max) = sp(r);
         out += &format!("  {name:<15} geomean {g:+.2}%  min {min:+.2}%  max {max:+.2}%\n");
     }
@@ -412,7 +431,10 @@ pub fn fig15(profile: Profile) -> String {
         profile,
     );
     let base = cached_suite_run(&SimConfig::baseline(), profile);
-    out += &format!("  {:>9} {:>12} {:>12}\n", "threshold", "UCP(uop$)", "UCP(L1I)");
+    out += &format!(
+        "  {:>9} {:>12} {:>12}\n",
+        "threshold", "UCP(uop$)", "UCP(L1I)"
+    );
     for thr in [16u32, 64, 256, 500, 1024, 4096] {
         let mut ucp = SimConfig::ucp();
         ucp.ucp.stop_threshold = thr;
@@ -509,10 +531,13 @@ pub fn table1() -> String {
         p.tage.provider_ctr = ctr;
         p.sc.sum = sum;
         let w = ucp_core::ucp::cond_stop_weight(&p);
-        out_push(&mut out, &format!(
-            "  {prov:<16} ctr {ctr:>3} sum {sum:>4} -> weight {w} (paper {expect}) {}\n",
-            if w == expect { "OK" } else { "MISMATCH" }
-        ));
+        out_push(
+            &mut out,
+            &format!(
+                "  {prov:<16} ctr {ctr:>3} sum {sum:>4} -> weight {w} (paper {expect}) {}\n",
+                if w == expect { "OK" } else { "MISMATCH" }
+            ),
+        );
         assert_eq!(w, expect, "Table I mismatch for {prov}");
     };
     check(Provider::Bimodal, 1, 0, 1);
@@ -586,8 +611,8 @@ pub fn all(profile: Profile) -> String {
     out += &table1();
     out += &fig08();
     for f in [
-        fig02, fig03, fig04, fig05, fig06, fig07, fig09, fig10, fig11, fig12, fig13, fig14,
-        fig15, fig16,
+        fig02, fig03, fig04, fig05, fig06, fig07, fig09, fig10, fig11, fig12, fig13, fig14, fig15,
+        fig16,
     ] {
         out += &f(profile);
         out.push('\n');
@@ -612,7 +637,13 @@ mod tests {
     #[test]
     fn table2_reports_key_parameters() {
         let report = table2();
-        for needle in ["65536 entries", "16 banks", "4096 ops", "ROB 512", "32 KB 4c"] {
+        for needle in [
+            "65536 entries",
+            "16 banks",
+            "4096 ops",
+            "ROB 512",
+            "32 KB 4c",
+        ] {
             assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
         }
     }

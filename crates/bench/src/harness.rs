@@ -72,6 +72,22 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Writes `text` to `path` atomically: a unique temp file in the same
+/// directory, then a rename. Concurrent figure binaries sharing a cache
+/// entry can otherwise interleave a read with a partial write.
+fn write_atomic(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+    let tmp = dir.join(format!(
+        ".{}.{}.tmp",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("cache"),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 /// Runs `cfg` over the profile's suite, caching results on disk. The cache
 /// key covers the full configuration, the suite composition and the run
 /// lengths, so distinct experiments never collide.
@@ -91,7 +107,10 @@ pub fn cached_suite_run(cfg: &SimConfig, profile: Profile) -> Vec<RunResult> {
         if let Ok(text) = std::fs::read_to_string(&path) {
             if let Ok(results) = serde_json::from_str::<Vec<RunResult>>(&text) {
                 if results.len() == suite.len()
-                    && results.iter().zip(&suite).all(|(r, s)| r.workload == s.name)
+                    && results
+                        .iter()
+                        .zip(&suite)
+                        .all(|(r, s)| r.workload == s.name)
                 {
                     return results;
                 }
@@ -102,10 +121,22 @@ pub fn cached_suite_run(cfg: &SimConfig, profile: Profile) -> Vec<RunResult> {
     if !no_cache {
         let _ = std::fs::create_dir_all(cache_dir());
         if let Ok(text) = serde_json::to_string(&results) {
-            let _ = std::fs::write(&path, text);
+            let _ = write_atomic(&path, &text);
         }
     }
     results
+}
+
+/// Sums the per-workload telemetry snapshots of a result set into one
+/// suite-wide [`ucp_telemetry::RegistrySnapshot`]. Empty when every result
+/// came from a cache written before telemetry existed — rerun with
+/// `UCP_NO_CACHE=1` to repopulate.
+pub fn merged_telemetry(results: &[RunResult]) -> ucp_telemetry::RegistrySnapshot {
+    let mut total = ucp_telemetry::RegistrySnapshot::default();
+    for r in results {
+        total.merge(&r.telemetry);
+    }
+    total
 }
 
 /// Arithmetic mean.
@@ -119,7 +150,7 @@ pub fn amean(v: &[f64]) -> f64 {
 
 /// Renders a sorted per-workload curve (the paper's "Sorted traces"
 /// x-axes): one `name value` row per workload, ascending.
-pub fn sorted_curve(pairs: &mut Vec<(String, f64)>, unit: &str) -> String {
+pub fn sorted_curve(pairs: &mut [(String, f64)], unit: &str) -> String {
     pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite values"));
     let mut out = String::new();
     for (name, v) in pairs.iter() {
@@ -132,7 +163,10 @@ pub fn sorted_curve(pairs: &mut Vec<(String, f64)>, unit: &str) -> String {
 pub fn summary_line(label: &str, v: &[f64]) -> String {
     let min = v.iter().copied().fold(f64::INFINITY, f64::min);
     let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    format!("{label}: min {min:.2}  mean {:.2}  max {max:.2}\n", amean(v))
+    format!(
+        "{label}: min {min:.2}  mean {:.2}  max {max:.2}\n",
+        amean(v)
+    )
 }
 
 #[cfg(test)]
@@ -166,5 +200,48 @@ mod tests {
     fn amean_basic() {
         assert_eq!(amean(&[1.0, 3.0]), 2.0);
         assert_eq!(amean(&[]), 0.0);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("ucp-harness-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        std::fs::write(&path, "old").unwrap();
+        write_atomic(&path, "new contents").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new contents");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp file must not survive the rename"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merged_telemetry_sums_counters() {
+        use ucp_core::RunResult;
+        use ucp_core::SimStats;
+        let mut a = ucp_telemetry::RegistrySnapshot::default();
+        a.counters.insert("ucp.walks_started".into(), 2);
+        let mut b = ucp_telemetry::RegistrySnapshot::default();
+        b.counters.insert("ucp.walks_started".into(), 3);
+        let results = vec![
+            RunResult {
+                workload: "a".into(),
+                stats: SimStats::default(),
+                telemetry: a,
+            },
+            RunResult {
+                workload: "b".into(),
+                stats: SimStats::default(),
+                telemetry: b,
+            },
+        ];
+        assert_eq!(merged_telemetry(&results).counters["ucp.walks_started"], 5);
     }
 }

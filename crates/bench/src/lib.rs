@@ -22,4 +22,4 @@
 pub mod figs;
 pub mod harness;
 
-pub use harness::{cached_suite_run, Profile};
+pub use harness::{cached_suite_run, merged_telemetry, Profile};

@@ -20,7 +20,10 @@ impl Bimodal {
     pub fn new(log_entries: u32) -> Self {
         assert!((1..=24).contains(&log_entries));
         let n = 1usize << log_entries;
-        Bimodal { ctrs: vec![0; n], mask: (n - 1) as u64 }
+        Bimodal {
+            ctrs: vec![0; n],
+            mask: (n - 1) as u64,
+        }
     }
 
     #[inline]
@@ -51,7 +54,11 @@ impl Bimodal {
     pub fn update(&mut self, pc: Addr, taken: bool) {
         let i = self.index(pc);
         let c = &mut self.ctrs[i];
-        *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+        *c = if taken {
+            (*c + 1).min(1)
+        } else {
+            (*c - 1).max(-2)
+        };
     }
 
     /// Storage in bits (2 bits per counter).
@@ -85,7 +92,10 @@ mod tests {
     fn weak_states_not_saturated() {
         let mut b = Bimodal::new(4);
         let pc = Addr::new(0x100);
-        assert!(!b.saturated(pc), "initial weak-not-taken is 0? counter starts 0 = weak taken");
+        assert!(
+            !b.saturated(pc),
+            "initial weak-not-taken is 0? counter starts 0 = weak taken"
+        );
         b.update(pc, false);
         assert_eq!(b.counter(pc), -1);
         assert!(!b.saturated(pc));

@@ -101,7 +101,12 @@ mod tests {
             provider,
             tage,
             sc: dummy_sc(),
-            lp: LoopPrediction { hit: false, taken: false, conf: 0, ..dummy_lp() },
+            lp: LoopPrediction {
+                hit: false,
+                taken: false,
+                conf: 0,
+                ..dummy_lp()
+            },
             bim_low8: false,
         }
     }
@@ -164,7 +169,10 @@ mod tests {
         let p = base_pred(Provider::BimodalLow8, TageProvider::Bimodal, 1);
         assert!(UcpConf.is_h2p(&p));
         let clean = base_pred(Provider::Bimodal, TageProvider::Bimodal, 1);
-        assert!(!UcpConf.is_h2p(&clean), "saturated clean bimodal is confident");
+        assert!(
+            !UcpConf.is_h2p(&clean),
+            "saturated clean bimodal is confident"
+        );
     }
 
     #[test]

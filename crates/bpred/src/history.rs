@@ -40,7 +40,12 @@ impl Fold {
     fn new(spec: FoldSpec) -> Self {
         assert!(spec.clen >= 1 && spec.clen <= 16, "clen out of range");
         assert!(spec.olen >= 1, "olen must be nonzero");
-        Fold { comp: 0, olen: spec.olen, clen: spec.clen, outpoint: spec.olen % spec.clen }
+        Fold {
+            comp: 0,
+            olen: spec.olen,
+            clen: spec.clen,
+            outpoint: spec.olen % spec.clen,
+        }
     }
 
     #[inline]
@@ -63,7 +68,11 @@ pub struct HistCheckpoint {
 
 impl Default for HistCheckpoint {
     fn default() -> Self {
-        HistCheckpoint { ptr: 0, n: 0, comps: [0; MAX_FOLDS] }
+        HistCheckpoint {
+            ptr: 0,
+            n: 0,
+            comps: [0; MAX_FOLDS],
+        }
     }
 }
 
@@ -134,7 +143,11 @@ impl HistoryState {
             // The bit leaving this fold's window was written `olen` pushes
             // ago; position ptr - olen (guarded for the cold start).
             let olen = u64::from(self.folds[i].olen);
-            let out_bit = if ptr >= olen { self.bit_at(ptr - olen) } else { 0 };
+            let out_bit = if ptr >= olen {
+                self.bit_at(ptr - olen)
+            } else {
+                0
+            };
             self.folds[i].push(new_bit, out_bit);
         }
         self.ptr = ptr + 1;
@@ -173,7 +186,11 @@ impl HistoryState {
 
     /// Captures the folded registers and write pointer.
     pub fn checkpoint(&self) -> HistCheckpoint {
-        let mut cp = HistCheckpoint { ptr: self.ptr, n: self.folds.len() as u8, comps: [0; MAX_FOLDS] };
+        let mut cp = HistCheckpoint {
+            ptr: self.ptr,
+            n: self.folds.len() as u8,
+            comps: [0; MAX_FOLDS],
+        };
         for (i, f) in self.folds.iter().enumerate() {
             cp.comps[i] = f.comp;
         }
@@ -202,7 +219,10 @@ mod tests {
         vec![
             FoldSpec { olen: 5, clen: 5 },
             FoldSpec { olen: 16, clen: 11 },
-            FoldSpec { olen: 130, clen: 11 },
+            FoldSpec {
+                olen: 130,
+                clen: 11,
+            },
         ]
     }
 
@@ -306,6 +326,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "too large")]
     fn oversized_history_rejected() {
-        let _ = HistoryState::new(&[FoldSpec { olen: 5000, clen: 12 }]);
+        let _ = HistoryState::new(&[FoldSpec {
+            olen: 5000,
+            clen: 12,
+        }]);
     }
 }

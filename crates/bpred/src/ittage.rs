@@ -50,9 +50,18 @@ impl IttageParams {
     pub fn fold_specs(&self) -> Vec<FoldSpec> {
         let mut v = Vec::with_capacity(self.num_tables * 3);
         for &olen in &self.hist_len {
-            v.push(FoldSpec { olen, clen: self.log_entries });
-            v.push(FoldSpec { olen, clen: self.tag_bits });
-            v.push(FoldSpec { olen, clen: self.tag_bits - 1 });
+            v.push(FoldSpec {
+                olen,
+                clen: self.log_entries,
+            });
+            v.push(FoldSpec {
+                olen,
+                clen: self.tag_bits,
+            });
+            v.push(FoldSpec {
+                olen,
+                clen: self.tag_bits - 1,
+            });
         }
         v
     }
@@ -214,7 +223,7 @@ impl Ittage {
     /// Trains with the resolved target.
     pub fn update(&mut self, _pc: Addr, pred: &IttagePrediction, actual: Addr) {
         self.updates += 1;
-        if self.updates % (64 * 1024) == 0 {
+        if self.updates.is_multiple_of(64 * 1024) {
             for t in &mut self.tables {
                 for e in t.iter_mut() {
                     e.u >>= 1;
@@ -261,7 +270,12 @@ impl Ittage {
                 while j < n {
                     let e = &mut self.tables[j][pred.indices[j] as usize];
                     if e.u == 0 {
-                        *e = IttEntry { tag: pred.tags[j], target: actual, ctr: 1, u: 0 };
+                        *e = IttEntry {
+                            tag: pred.tags[j],
+                            target: actual,
+                            ctr: 1,
+                            u: 0,
+                        };
                         allocated = true;
                         break;
                     }
@@ -339,7 +353,10 @@ mod tests {
             i.update(pc, &p, t);
             push_target_history(&mut h, t);
         }
-        assert!(correct > 1350, "alternating targets must be learned: {correct}/1500");
+        assert!(
+            correct > 1350,
+            "alternating targets must be learned: {correct}/1500"
+        );
     }
 
     #[test]
@@ -368,8 +385,16 @@ mod tests {
     #[test]
     fn storage_budgets() {
         let main = Ittage::new(IttageParams::main_64k());
-        assert!((40.0..70.0).contains(&main.storage_kb()), "{}", main.storage_kb());
+        assert!(
+            (40.0..70.0).contains(&main.storage_kb()),
+            "{}",
+            main.storage_kb()
+        );
         let alt = Ittage::new(IttageParams::alt_4k());
-        assert!((2.0..5.0).contains(&alt.storage_kb()), "{}", alt.storage_kb());
+        assert!(
+            (2.0..5.0).contains(&alt.storage_kb()),
+            "{}",
+            alt.storage_kb()
+        );
     }
 }

@@ -3,9 +3,9 @@
 //! Implements the full predictor stack of the paper's Table II and §IV:
 //!
 //! * [`TageScL`] — the conditional predictor (TAGE + statistical corrector
-//!   + loop predictor) at 64 KB (main), 8 KB (Alt-BP) and 128 KB
+//!   plus loop predictor) at 64 KB (main), 8 KB (Alt-BP) and 128 KB
 //!   (Fig. 16's doubled budget), with per-prediction **provider
-//!   attribution** (HitBank / AltBank / bimodal / bimodal>1in8 / SC / LP),
+//!   attribution** (HitBank, AltBank, bimodal, bimodal>1in8, SC, LP),
 //! * [`Ittage`] — the indirect-target predictor at 64 KB (main) and 4 KB
 //!   (Alt-Ind),
 //! * [`TageConf`] / [`UcpConf`] — the storage-free H2P confidence

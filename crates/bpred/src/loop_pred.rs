@@ -79,17 +79,18 @@ impl LoopPredictor {
     #[inline]
     fn set_and_tag(&self, pc: Addr) -> (usize, u16) {
         let v = pc.raw() >> 2;
-        ((v as usize) & (self.sets - 1), ((v >> self.sets.trailing_zeros()) & 0x3fff) as u16)
+        (
+            (v as usize) & (self.sets - 1),
+            ((v >> self.sets.trailing_zeros()) & 0x3fff) as u16,
+        )
     }
 
     fn find(&self, pc: Addr) -> Option<(usize, usize)> {
         let (set, tag) = self.set_and_tag(pc);
-        (0..self.ways)
-            .map(|w| (set, w))
-            .find(|&(s, w)| {
-                let e = &self.entries[s * self.ways + w];
-                e.valid && e.tag == tag
-            })
+        (0..self.ways).map(|w| (set, w)).find(|&(s, w)| {
+            let e = &self.entries[s * self.ways + w];
+            e.valid && e.tag == tag
+        })
     }
 
     /// Predicts the branch at `pc`. `hit` is only set when the entry is
@@ -107,9 +108,21 @@ impl LoopPredictor {
                     way: w as u8,
                 };
             }
-            return LoopPrediction { hit: false, taken: e.dir, conf: e.conf, set: s as u16, way: w as u8 };
+            return LoopPrediction {
+                hit: false,
+                taken: e.dir,
+                conf: e.conf,
+                set: s as u16,
+                way: w as u8,
+            };
         }
-        LoopPrediction { hit: false, taken: false, conf: 0, set: u16::MAX, way: 0 }
+        LoopPrediction {
+            hit: false,
+            taken: false,
+            conf: 0,
+            set: u16::MAX,
+            way: 0,
+        }
     }
 
     /// `true` when loop predictions should override TAGE (the `WITHLOOP`
@@ -159,16 +172,18 @@ impl LoopPredictor {
         // Allocate on a TAGE misprediction (a loop exit TAGE failed on).
         if tage_mispredicted {
             self.tick = self.tick.wrapping_add(1);
-            if self.tick % 4 != 0 {
+            if !self.tick.is_multiple_of(4) {
                 return;
             }
             let base = set * self.ways;
-            if let Some(victim) = (0..self.ways)
-                .min_by_key(|&w| {
-                    let e = &self.entries[base + w];
-                    if e.valid { 1 + u16::from(e.age) + u16::from(e.conf) * 8 } else { 0 }
-                })
-            {
+            if let Some(victim) = (0..self.ways).min_by_key(|&w| {
+                let e = &self.entries[base + w];
+                if e.valid {
+                    1 + u16::from(e.age) + u16::from(e.conf) * 8
+                } else {
+                    0
+                }
+            }) {
                 self.entries[base + victim] = LoopEntry {
                     tag,
                     valid: true,

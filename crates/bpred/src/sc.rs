@@ -37,7 +37,12 @@ impl ScParams {
 
     /// ~0.8 KB corrector for the 8 KB alternate TAGE-SC-L.
     pub fn alt_8k() -> Self {
-        ScParams { num_tables: 3, log_entries: 8, hist_len: vec![4, 10, 24], log_bias: 8 }
+        ScParams {
+            num_tables: 3,
+            log_entries: 8,
+            hist_len: vec![4, 10, 24],
+            log_bias: 8,
+        }
     }
 
     /// ~10.8 KB corrector for the 128 KB TAGE-SC-L.
@@ -54,7 +59,10 @@ impl ScParams {
     pub fn fold_specs(&self) -> Vec<FoldSpec> {
         self.hist_len
             .iter()
-            .map(|&olen| FoldSpec { olen, clen: self.log_entries })
+            .map(|&olen| FoldSpec {
+                olen,
+                clen: self.log_entries,
+            })
             .collect()
     }
 }
@@ -139,14 +147,20 @@ impl Sc {
         let mut sum: i32 = tage_centered * 6;
         let bias_idx = self.bias_index(pc, tage_taken);
         sum += 2 * i32::from(self.bias[bias_idx as usize]) + 1;
-        for t in 0..self.params.num_tables {
+        for (t, slot) in indices.iter_mut().enumerate().take(self.params.num_tables) {
             let i = self.index(pc, hist, t, fold_base);
-            indices[t] = i;
+            *slot = i;
             sum += 2 * i32::from(self.tables[t][i as usize]) + 1;
         }
         let taken = sum >= 0;
         let used = taken != tage_taken && sum.unsigned_abs() as i32 >= self.thr;
-        ScPrediction { sum, taken, used, indices, bias_idx }
+        ScPrediction {
+            sum,
+            taken,
+            used,
+            indices,
+            bias_idx,
+        }
     }
 
     /// Trains the corrector with the resolved outcome.

@@ -74,9 +74,18 @@ impl TageParams {
     pub fn fold_specs(&self) -> Vec<FoldSpec> {
         let mut v = Vec::with_capacity(self.num_tables * 3);
         for &olen in &self.hist_len {
-            v.push(FoldSpec { olen, clen: self.log_entries });
-            v.push(FoldSpec { olen, clen: self.tag_bits });
-            v.push(FoldSpec { olen, clen: self.tag_bits - 1 });
+            v.push(FoldSpec {
+                olen,
+                clen: self.log_entries,
+            });
+            v.push(FoldSpec {
+                olen,
+                clen: self.tag_bits,
+            });
+            v.push(FoldSpec {
+                olen,
+                clen: self.tag_bits - 1,
+            });
         }
         v
     }
@@ -292,7 +301,7 @@ impl Tage {
     /// value returned by [`Tage::predict`] for this dynamic branch.
     pub fn update(&mut self, pc: Addr, pred: &TagePrediction, taken: bool) {
         self.updates += 1;
-        if self.updates % self.params.u_reset_period == 0 {
+        if self.updates.is_multiple_of(self.params.u_reset_period) {
             for t in &mut self.tables {
                 for e in t.iter_mut() {
                     e.u >>= 1;
@@ -314,7 +323,12 @@ impl Tage {
             while j < n {
                 let e = &mut self.tables[j][pred.indices[j] as usize];
                 if e.u == 0 {
-                    *e = TageEntry { ctr: if taken { 0 } else { -1 }, tag: pred.tags[j], u: 0, valid: true };
+                    *e = TageEntry {
+                        ctr: if taken { 0 } else { -1 },
+                        tag: pred.tags[j],
+                        u: 0,
+                        valid: true,
+                    };
                     allocated = true;
                     break;
                 }
@@ -371,8 +385,7 @@ impl Tage {
     /// Total storage in bits (tagged tables + bimodal).
     pub fn storage_bits(&self) -> u64 {
         let per_entry = 3 + 2 + u64::from(self.params.tag_bits);
-        let tagged =
-            self.params.num_tables as u64 * (1u64 << self.params.log_entries) * per_entry;
+        let tagged = self.params.num_tables as u64 * (1u64 << self.params.log_entries) * per_entry;
         tagged + self.bimodal.storage_bits()
     }
 }
@@ -441,7 +454,10 @@ mod tests {
             t.update(pc, &p, outcome);
             h.push(outcome);
         }
-        assert!(correct_late > 1900, "TAGE should nail the pattern: {correct_late}/2000");
+        assert!(
+            correct_late > 1900,
+            "TAGE should nail the pattern: {correct_late}/2000"
+        );
     }
 
     #[test]
@@ -458,7 +474,10 @@ mod tests {
             t.update(pc, &p, outcome);
             h.push(outcome);
         }
-        assert!(tagged > 700, "pattern must mostly come from tagged tables: {tagged}/1000");
+        assert!(
+            tagged > 700,
+            "pattern must mostly come from tagged tables: {tagged}/1000"
+        );
     }
 
     #[test]
@@ -478,10 +497,16 @@ mod tests {
     fn storage_accounting() {
         let t = Tage::new(TageParams::main_64k());
         let kb = t.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!((40.0..70.0).contains(&kb), "64K-class TAGE ≈ 53 KB, got {kb:.1}");
+        assert!(
+            (40.0..70.0).contains(&kb),
+            "64K-class TAGE ≈ 53 KB, got {kb:.1}"
+        );
         let a = Tage::new(TageParams::alt_8k());
         let kb = a.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!((4.0..8.0).contains(&kb), "8K-class TAGE ≈ 6 KB, got {kb:.1}");
+        assert!(
+            (4.0..8.0).contains(&kb),
+            "8K-class TAGE ≈ 6 KB, got {kb:.1}"
+        );
     }
 
     #[test]
@@ -501,11 +526,22 @@ mod tests {
             tags: [0; MAX_TABLES],
         };
         assert!(p.provider_saturated());
-        let weak = TagePrediction { provider_ctr: 0, ..p };
+        let weak = TagePrediction {
+            provider_ctr: 0,
+            ..p
+        };
         assert!(!weak.provider_saturated());
-        let hit_sat = TagePrediction { provider: TageProvider::Hit, provider_ctr: -4, ..p };
+        let hit_sat = TagePrediction {
+            provider: TageProvider::Hit,
+            provider_ctr: -4,
+            ..p
+        };
         assert!(hit_sat.provider_saturated());
-        let hit_weak = TagePrediction { provider: TageProvider::Hit, provider_ctr: 1, ..p };
+        let hit_weak = TagePrediction {
+            provider: TageProvider::Hit,
+            provider_ctr: 1,
+            ..p
+        };
         assert!(!hit_weak.provider_saturated());
     }
 }

@@ -121,15 +121,21 @@ impl TageScL {
     /// Creates a predictor of the given size class.
     pub fn new(preset: SclPreset) -> Self {
         let (tp, sp, lp) = match preset {
-            SclPreset::Main64K => {
-                (TageParams::main_64k(), ScParams::main_64k(), LoopPredictor::default_64_entry())
-            }
-            SclPreset::Alt8K => {
-                (TageParams::alt_8k(), ScParams::alt_8k(), LoopPredictor::new(8, 4))
-            }
-            SclPreset::Big128K => {
-                (TageParams::big_128k(), ScParams::big_128k(), LoopPredictor::default_64_entry())
-            }
+            SclPreset::Main64K => (
+                TageParams::main_64k(),
+                ScParams::main_64k(),
+                LoopPredictor::default_64_entry(),
+            ),
+            SclPreset::Alt8K => (
+                TageParams::alt_8k(),
+                ScParams::alt_8k(),
+                LoopPredictor::new(8, 4),
+            ),
+            SclPreset::Big128K => (
+                TageParams::big_128k(),
+                ScParams::big_128k(),
+                LoopPredictor::default_64_entry(),
+            ),
         };
         let sc_fold_base = tp.fold_specs().len();
         TageScL {
@@ -162,7 +168,9 @@ impl TageScL {
         // Loop predictor overrides when confident and globally useful.
         if lp.hit && self.lp.useful() {
             // SC is still computed for training and Fig. 6b statistics.
-            let sc = self.sc.predict(hist, pc, self.sc_fold_base, tage.taken, centered(&tage));
+            let sc = self
+                .sc
+                .predict(hist, pc, self.sc_fold_base, tage.taken, centered(&tage));
             return SclPrediction {
                 taken: lp.taken,
                 provider: Provider::LoopPred,
@@ -172,7 +180,9 @@ impl TageScL {
                 bim_low8: self.bim_miss_hist != 0,
             };
         }
-        let sc = self.sc.predict(hist, pc, self.sc_fold_base, tage.taken, centered(&tage));
+        let sc = self
+            .sc
+            .predict(hist, pc, self.sc_fold_base, tage.taken, centered(&tage));
         let (taken, provider) = if sc.used {
             (sc.taken, Provider::Sc)
         } else {
@@ -189,7 +199,14 @@ impl TageScL {
             };
             (tage.taken, p)
         };
-        SclPrediction { taken, provider, tage, sc, lp, bim_low8: self.bim_miss_hist != 0 }
+        SclPrediction {
+            taken,
+            provider,
+            tage,
+            sc,
+            lp,
+            bim_low8: self.bim_miss_hist != 0,
+        }
     }
 
     /// Trains all components with the resolved outcome. `pred` must be the
@@ -200,8 +217,7 @@ impl TageScL {
         self.sc.update(&pred.sc, taken, pred.tage.taken);
         self.tage.update(pc, &pred.tage, taken);
         if matches!(pred.provider, Provider::Bimodal | Provider::BimodalLow8) {
-            self.bim_miss_hist =
-                (self.bim_miss_hist << 1) | u8::from(pred.taken != taken);
+            self.bim_miss_hist = (self.bim_miss_hist << 1) | u8::from(pred.taken != taken);
         }
     }
 
@@ -257,14 +273,20 @@ mod tests {
             alt.storage_kb()
         );
         let big = TageScL::new(SclPreset::Big128K);
-        assert!(big.storage_kb() > 1.8 * main.storage_kb(), "128 KB ≈ 2× 64 KB");
+        assert!(
+            big.storage_kb() > 1.8 * main.storage_kb(),
+            "128 KB ≈ 2× 64 KB"
+        );
     }
 
     #[test]
     fn cold_prediction_is_bimodal() {
         let (p, h) = fresh();
         let pr = p.predict(&h, Addr::new(0x1000));
-        assert!(matches!(pr.provider, Provider::Bimodal | Provider::BimodalLow8));
+        assert!(matches!(
+            pr.provider,
+            Provider::Bimodal | Provider::BimodalLow8
+        ));
     }
 
     #[test]
@@ -281,7 +303,10 @@ mod tests {
             p.update(pc, &pr, outcome);
             h.push(outcome);
         }
-        assert!(correct >= 1899, "always-taken must be ~100%: {correct}/1900");
+        assert!(
+            correct >= 1899,
+            "always-taken must be ~100%: {correct}/1900"
+        );
     }
 
     #[test]
@@ -338,7 +363,10 @@ mod tests {
             p.update(pc, &pr, outcome);
             h.push(outcome);
         }
-        assert!(saw_hitbank, "trained predictor must produce HitBank predictions");
+        assert!(
+            saw_hitbank,
+            "trained predictor must produce HitBank predictions"
+        );
     }
 
     #[test]
@@ -367,6 +395,9 @@ mod tests {
         }
         h.restore(&cp);
         let after = p.predict(&h, pc).taken;
-        assert_eq!(before, after, "restore must reproduce the pre-speculation prediction");
+        assert_eq!(
+            before, after,
+            "restore must reproduce the pre-speculation prediction"
+        );
     }
 }

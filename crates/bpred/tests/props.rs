@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use sim_isa::Addr;
 use ucp_bpred::{
-    push_target_history, ConfidenceEstimator, Ittage, IttageParams, Provider, SclPreset,
-    TageConf, TageScL, UcpConf,
+    push_target_history, ConfidenceEstimator, Ittage, IttageParams, Provider, SclPreset, TageConf,
+    TageScL, UcpConf,
 };
 
 proptest! {

@@ -12,26 +12,42 @@ use ucp_workloads::suite;
 fn main() {
     let names = ["srv00", "srv05", "srv10", "int02", "fp00", "crypto01"];
     let (w, m) = (1_000_000u64, 4_000_000u64);
-    println!("{:<9} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>6} {:>7} {:>7}",
-        "wl", "noUC", "base", "ucp", "hit%", "swPKI", "mpki", "l1i%", "d.base%", "d.ucp%");
+    println!(
+        "{:<9} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>6} {:>7} {:>7}",
+        "wl", "noUC", "base", "ucp", "hit%", "swPKI", "mpki", "l1i%", "d.base%", "d.ucp%"
+    );
     for n in names {
         let spec = suite::by_name(n).unwrap();
         let no_uc = Simulator::run_spec(&spec, &SimConfig::no_uop_cache(), w, m);
         let base = Simulator::run_spec(&spec, &SimConfig::baseline(), w, m);
         let ucp = Simulator::run_spec(&spec, &SimConfig::ucp(), w, m);
-        println!("{:<9} {:>6.3} {:>6.3} {:>6.3} {:>7.1} {:>7.2} {:>6.2} {:>6.2} {:>7.2} {:>7.2}",
-            n, no_uc.ipc(), base.ipc(), ucp.ipc(),
-            base.uop_hit_rate_pct(), base.switch_pki(), base.cond_mpki(),
+        println!(
+            "{:<9} {:>6.3} {:>6.3} {:>6.3} {:>7.1} {:>7.2} {:>6.2} {:>6.2} {:>7.2} {:>7.2}",
+            n,
+            no_uc.ipc(),
+            base.ipc(),
+            ucp.ipc(),
+            base.uop_hit_rate_pct(),
+            base.switch_pki(),
+            base.cond_mpki(),
             base.l1i_miss_rate_pct(),
-            (base.ipc()/no_uc.ipc()-1.0)*100.0,
-            (ucp.ipc()/base.ipc()-1.0)*100.0);
+            (base.ipc() / no_uc.ipc() - 1.0) * 100.0,
+            (ucp.ipc() / base.ipc() - 1.0) * 100.0
+        );
         eprintln!("  ucp: walks={} inserted={} timely={} late={} acc={:.1}% lines/walk={:.1} h2p cov={:.1} acc={:.1}",
             ucp.ucp.walks_started, ucp.ucp.entries_inserted, ucp.ucp.timely_used, ucp.ucp.late_used,
             ucp.ucp.prefetch_accuracy_pct(),
             ucp.ucp.lines_prefetched as f64 / ucp.ucp.walks_started.max(1) as f64,
             ucp.h2p_ucp.coverage_pct(), ucp.h2p_ucp.accuracy_pct());
-        eprintln!("  stop: thr={} btbmiss={} ind={} nobr={} preempt={} filt={} conflicts={}",
-            ucp.ucp.stopped_threshold, ucp.ucp.stopped_btb_miss, ucp.ucp.stopped_indirect,
-            ucp.ucp.stopped_no_branch, ucp.ucp.preempted, ucp.ucp.filtered_present, ucp.ucp.btb_conflicts);
+        eprintln!(
+            "  stop: thr={} btbmiss={} ind={} nobr={} preempt={} filt={} conflicts={}",
+            ucp.ucp.stopped_threshold,
+            ucp.ucp.stopped_btb_miss,
+            ucp.ucp.stopped_indirect,
+            ucp.ucp.stopped_no_branch,
+            ucp.ucp.preempted,
+            ucp.ucp.filtered_present,
+            ucp.ucp.btb_conflicts
+        );
     }
 }

@@ -4,9 +4,9 @@
 
 use serde::Serialize;
 use ucp_bpred::SclPreset;
-use ucp_prefetch::InstPrefetcher as _;
 use ucp_frontend::{BtbConfig, UopCacheConfig};
 use ucp_mem::HierarchyConfig;
+use ucp_prefetch::InstPrefetcher as _;
 
 /// How the µ-op cache is modelled.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
@@ -270,7 +270,10 @@ impl SimConfig {
 
     /// Baseline without a µ-op cache (Fig. 2 / Fig. 10 denominator).
     pub fn no_uop_cache() -> Self {
-        SimConfig { uop_cache: UopCacheModel::None, ..SimConfig::baseline() }
+        SimConfig {
+            uop_cache: UopCacheModel::None,
+            ..SimConfig::baseline()
+        }
     }
 
     /// Baseline + the full UCP proposal (Alt-BP + Alt-Ind, dedicated
@@ -300,8 +303,8 @@ impl SimConfig {
             let alt_bp = ucp_bpred::TageScL::new(SclPreset::Alt8K).storage_bits() as f64;
             bits += alt_bp + (0.14 + 0.19 + 0.25 + 0.12 + 0.06) * 8192.0;
             if self.ucp.use_alt_ind {
-                bits += ucp_bpred::Ittage::new(ucp_bpred::IttageParams::alt_4k()).storage_bits()
-                    as f64;
+                bits +=
+                    ucp_bpred::Ittage::new(ucp_bpred::IttageParams::alt_4k()).storage_bits() as f64;
             }
         }
         bits += match self.prefetcher {

@@ -5,6 +5,9 @@ use crate::config::SimConfig;
 use crate::pipeline::Simulator;
 use crate::stats::SimStats;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use ucp_telemetry::RegistrySnapshot;
 use ucp_workloads::WorkloadSpec;
 
 /// Default warm-up instructions per run (the paper uses 50 M on 100 M-inst
@@ -39,11 +42,21 @@ pub struct RunResult {
     pub workload: String,
     /// Collected statistics.
     pub stats: SimStats,
+    /// Telemetry counters over the measurement window. Empty for results
+    /// deserialized from caches written before telemetry existed
+    /// (`#[serde(default)]` keeps those readable).
+    #[serde(default)]
+    pub telemetry: RegistrySnapshot,
 }
 
-/// Runs `cfg` over every workload in `suite`, in parallel (one thread per
-/// workload, capped at the machine's parallelism). Results are returned in
-/// suite order regardless of completion order.
+/// Runs `cfg` over every workload in `suite`, in parallel, deterministically.
+///
+/// A pool of `min(available_parallelism, suite.len())` workers pulls
+/// workload indices from a shared atomic cursor, so a slow workload never
+/// holds idle threads hostage the way chunk barriers would. Each worker
+/// writes into the slot matching its workload's suite index, so results
+/// come back in suite order (and with per-workload determinism) regardless
+/// of completion order — duplicate workload names included.
 pub fn run_suite(
     suite: &[WorkloadSpec],
     cfg: &SimConfig,
@@ -51,28 +64,31 @@ pub fn run_suite(
     measure: u64,
 ) -> Vec<RunResult> {
     let max_par = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let mut results: Vec<Option<RunResult>> = (0..suite.len()).map(|_| None).collect();
-    for chunk in suite.chunks(max_par.max(1)) {
-        let chunk_start = suite
-            .iter()
-            .position(|s| s.name == chunk[0].name)
-            .expect("chunk comes from suite");
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunk
-                .iter()
-                .map(|spec| {
-                    scope.spawn(move || {
-                        let stats = Simulator::run_spec(spec, cfg, warmup, measure);
-                        RunResult { workload: spec.name.clone(), stats }
-                    })
-                })
-                .collect();
-            for (i, h) in handles.into_iter().enumerate() {
-                results[chunk_start + i] = Some(h.join().expect("simulation thread panicked"));
-            }
-        });
-    }
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    let workers = max_par.max(1).min(suite.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunResult>>> = (0..suite.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = suite.get(i) else { break };
+                let (stats, telemetry) = Simulator::run_spec_full(spec, cfg, warmup, measure);
+                *slots[i].lock().expect("result slot poisoned") = Some(RunResult {
+                    workload: spec.name.clone(),
+                    stats,
+                    telemetry,
+                });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("all slots filled")
+        })
+        .collect()
 }
 
 /// Per-workload IPCs from a result set.
@@ -111,6 +127,55 @@ mod tests {
         assert_eq!(r1[1].workload, "b");
         assert_eq!(r1[0].stats.cycles, r2[0].stats.cycles, "deterministic");
         assert!((20_000..20_016).contains(&r1[1].stats.instructions));
+    }
+
+    #[test]
+    fn run_suite_handles_duplicate_names() {
+        // Same name, different seeds: slot indexing must not key on names.
+        let suite = vec![
+            WorkloadSpec::tiny("dup", 1),
+            WorkloadSpec::tiny("dup", 2),
+            WorkloadSpec::tiny("dup", 3),
+            WorkloadSpec::tiny("other", 4),
+        ];
+        let cfg = SimConfig::baseline();
+        let r = run_suite(&suite, &cfg, 5_000, 20_000);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[3].workload, "other");
+        // Each slot must hold its own seed's run: seeds 1..3 diverge.
+        let solo: Vec<u64> = suite
+            .iter()
+            .map(|s| Simulator::run_spec(s, &cfg, 5_000, 20_000).cycles)
+            .collect();
+        for (got, want) in r.iter().zip(&solo) {
+            assert_eq!(got.stats.cycles, *want, "slot matched to wrong workload");
+        }
+    }
+
+    #[test]
+    fn run_suite_results_carry_telemetry() {
+        let suite = vec![WorkloadSpec::tiny("a", 1)];
+        let r = run_suite(&suite, &SimConfig::baseline(), 5_000, 20_000);
+        let snap = &r[0].telemetry;
+        assert!(!snap.is_empty(), "measurement window should tick counters");
+        assert!(snap.counters.contains_key("frontend.uopc.hits"));
+    }
+
+    #[test]
+    fn legacy_results_deserialize_without_telemetry() {
+        // A cache entry written before RunResult.telemetry existed.
+        let stats = SimStats::default();
+        let mut v = serde_json::to_value(&RunResult {
+            workload: "w".into(),
+            stats,
+            telemetry: RegistrySnapshot::default(),
+        })
+        .unwrap();
+        if let serde_json::Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "telemetry");
+        }
+        let back: RunResult = serde_json::from_value(v).unwrap();
+        assert!(back.telemetry.is_empty());
     }
 
     #[test]

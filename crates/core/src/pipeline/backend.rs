@@ -35,7 +35,11 @@ pub struct Backend {
 impl Backend {
     /// Creates an empty backend.
     pub fn new(cfg: BackendConfig) -> Self {
-        Backend { rob: VecDeque::with_capacity(cfg.rob_entries), reg_avail: [0; 64], cfg }
+        Backend {
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            reg_avail: [0; 64],
+            cfg,
+        }
     }
 
     /// `true` if another µ-op can be dispatched this cycle.
@@ -127,7 +131,13 @@ mod tests {
             inst = inst.with_dst(d);
         }
         let inst = inst.with_srcs(srcs);
-        DynInst { pc: Addr::new(0x100), inst, next_pc: Addr::new(0x104), taken: false, mem_addr: Addr::NULL }
+        DynInst {
+            pc: Addr::new(0x100),
+            inst,
+            next_pc: Addr::new(0x104),
+            taken: false,
+            mem_addr: Addr::NULL,
+        }
     }
 
     fn backend() -> Backend {
@@ -137,17 +147,33 @@ mod tests {
     #[test]
     fn independent_ops_complete_quickly() {
         let mut b = backend();
-        let c = b.dispatch(10, &dyn_inst(InstKind::Op(ExecClass::Alu), Some(Reg::new(1)), &[]), 0, None, None);
+        let c = b.dispatch(
+            10,
+            &dyn_inst(InstKind::Op(ExecClass::Alu), Some(Reg::new(1)), &[]),
+            0,
+            None,
+            None,
+        );
         assert_eq!(c, 12, "now+1 issue, +1 ALU");
     }
 
     #[test]
     fn dependency_chains_serialize() {
         let mut b = backend();
-        let c1 = b.dispatch(0, &dyn_inst(InstKind::Op(ExecClass::Div), Some(Reg::new(1)), &[]), 0, None, None);
+        let c1 = b.dispatch(
+            0,
+            &dyn_inst(InstKind::Op(ExecClass::Div), Some(Reg::new(1)), &[]),
+            0,
+            None,
+            None,
+        );
         let c2 = b.dispatch(
             0,
-            &dyn_inst(InstKind::Op(ExecClass::Alu), Some(Reg::new(2)), &[Reg::new(1)]),
+            &dyn_inst(
+                InstKind::Op(ExecClass::Alu),
+                Some(Reg::new(2)),
+                &[Reg::new(1)],
+            ),
             1,
             None,
             None,
@@ -158,15 +184,30 @@ mod tests {
     #[test]
     fn loads_wait_for_memory() {
         let mut b = backend();
-        let c = b.dispatch(0, &dyn_inst(InstKind::Load, Some(Reg::new(3)), &[]), 0, Some(200), None);
+        let c = b.dispatch(
+            0,
+            &dyn_inst(InstKind::Load, Some(Reg::new(3)), &[]),
+            0,
+            Some(200),
+            None,
+        );
         assert_eq!(c, 200);
     }
 
     #[test]
     fn commit_is_in_order_and_width_limited() {
-        let mut b = Backend::new(BackendConfig { commit_width: 2, ..BackendConfig::default() });
+        let mut b = Backend::new(BackendConfig {
+            commit_width: 2,
+            ..BackendConfig::default()
+        });
         for i in 0..4 {
-            b.dispatch(0, &dyn_inst(InstKind::Op(ExecClass::Alu), None, &[]), i, None, None);
+            b.dispatch(
+                0,
+                &dyn_inst(InstKind::Op(ExecClass::Alu), None, &[]),
+                i,
+                None,
+                None,
+            );
         }
         let retired = b.commit(100);
         assert_eq!(retired.len(), 2, "commit width");
@@ -178,18 +219,45 @@ mod tests {
     #[test]
     fn incomplete_head_blocks_commit() {
         let mut b = backend();
-        b.dispatch(0, &dyn_inst(InstKind::Op(ExecClass::Div), None, &[]), 0, None, None);
-        b.dispatch(0, &dyn_inst(InstKind::Op(ExecClass::Alu), None, &[]), 1, None, None);
+        b.dispatch(
+            0,
+            &dyn_inst(InstKind::Op(ExecClass::Div), None, &[]),
+            0,
+            None,
+            None,
+        );
+        b.dispatch(
+            0,
+            &dyn_inst(InstKind::Op(ExecClass::Alu), None, &[]),
+            1,
+            None,
+            None,
+        );
         // At cycle 3 the ALU op is done but the div head is not.
         assert!(b.commit(3).is_empty());
     }
 
     #[test]
     fn rob_space_bounded() {
-        let mut b = Backend::new(BackendConfig { rob_entries: 2, ..BackendConfig::default() });
+        let mut b = Backend::new(BackendConfig {
+            rob_entries: 2,
+            ..BackendConfig::default()
+        });
         assert!(b.has_space());
-        b.dispatch(0, &dyn_inst(InstKind::Op(ExecClass::Alu), None, &[]), 0, None, None);
-        b.dispatch(0, &dyn_inst(InstKind::Op(ExecClass::Alu), None, &[]), 1, None, None);
+        b.dispatch(
+            0,
+            &dyn_inst(InstKind::Op(ExecClass::Alu), None, &[]),
+            0,
+            None,
+            None,
+        );
+        b.dispatch(
+            0,
+            &dyn_inst(InstKind::Op(ExecClass::Alu), None, &[]),
+            1,
+            None,
+            None,
+        );
         assert!(!b.has_space());
         assert_eq!(b.occupancy(), 2);
     }

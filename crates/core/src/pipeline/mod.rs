@@ -31,14 +31,13 @@ use backend::Backend;
 use sim_isa::{Addr, BranchClass, DynInst, InstKind};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use ucp_bpred::{
-    push_target_history, ConfidenceEstimator, HistCheckpoint, HistoryState, Ittage,
-    IttageParams, IttagePrediction, SclPrediction, TageConf, TageScL, UcpConf,
+    push_target_history, ConfidenceEstimator, HistCheckpoint, HistoryState, Ittage, IttageParams,
+    IttagePrediction, SclPrediction, TageConf, TageScL, UcpConf,
 };
-use ucp_frontend::{
-    BoundedQueue, Btb, EntryEnd, Ras, RasCheckpoint, UopCache, UopEntrySpec,
-};
+use ucp_frontend::{BoundedQueue, Btb, EntryEnd, Ras, RasCheckpoint, UopCache, UopEntrySpec};
 use ucp_mem::{Hierarchy, HitLevel};
 use ucp_prefetch::{DJolt, Entangling, FnlMma, InstPrefetcher, Mrc, NoPrefetch};
+use ucp_telemetry::{Category, Counter, RegistrySnapshot, Telemetry};
 use ucp_workloads::{Oracle, Program, WorkloadSpec};
 
 /// Builds µ-op cache entries for `n` instructions starting at `start`,
@@ -165,6 +164,29 @@ struct UopQEntry {
     rec: Option<u64>,
 }
 
+/// The simulator's own telemetry handles (`pipeline.*`, plus the
+/// `frontend.*`/`prefetch.*` counters whose increment sites live in the
+/// pipeline rather than in the component crates).
+struct SimTelemetry {
+    handle: Telemetry,
+    flushes: Counter,
+    resteers: Counter,
+    mode_switches: Counter,
+    l1i_prefetches: Counter,
+}
+
+impl SimTelemetry {
+    fn bound_to(handle: Telemetry) -> Self {
+        SimTelemetry {
+            flushes: handle.registry.counter("pipeline.flushes"),
+            resteers: handle.registry.counter("pipeline.btb_resteers"),
+            mode_switches: handle.registry.counter("frontend.uopc.mode_switches"),
+            l1i_prefetches: handle.registry.counter("prefetch.l1i_issued"),
+            handle,
+        }
+    }
+}
+
 /// The full-machine simulator for one workload.
 pub struct Simulator<'p> {
     cfg: SimConfig,
@@ -219,22 +241,41 @@ pub struct Simulator<'p> {
     last_commit_cycle: u64,
     measuring: bool,
     stats: SimStats,
+    tele: SimTelemetry,
 }
 
 impl<'p> Simulator<'p> {
     /// Creates a simulator for `prog` under `cfg`, with the workload's
-    /// behavioural `seed`.
+    /// behavioural `seed`. Telemetry comes from the environment
+    /// (`UCP_TRACE`); use [`Simulator::with_telemetry`] to supply a handle
+    /// whose registry and trace buffer you keep.
     pub fn new(prog: &'p Program, seed: u64, cfg: &SimConfig) -> Self {
+        Simulator::with_telemetry(prog, seed, cfg, Telemetry::from_env())
+    }
+
+    /// Creates a simulator wired to `telemetry`: every layer (µ-op cache,
+    /// UCP engine, memory hierarchy, L1I prefetcher, the pipeline itself)
+    /// registers its counters in `telemetry.registry` and emits trace
+    /// events through `telemetry.tracer`.
+    pub fn with_telemetry(
+        prog: &'p Program,
+        seed: u64,
+        cfg: &SimConfig,
+        telemetry: Telemetry,
+    ) -> Self {
         let bp = TageScL::new(cfg.bpred);
         let bp_hist = bp.new_history();
         let ittage = Ittage::new(IttageParams::main_64k());
         let it_hist = ittage.new_history();
-        let (uop_cache, uop_ideal) = match &cfg.uop_cache {
+        let (mut uop_cache, uop_ideal) = match &cfg.uop_cache {
             UopCacheModel::None => (None, false),
             UopCacheModel::Ideal => (None, true),
             UopCacheModel::Real(c) => (Some(UopCache::new(c.clone())), false),
         };
-        let prefetcher: Box<dyn InstPrefetcher> = match cfg.prefetcher {
+        if let Some(uc) = uop_cache.as_mut() {
+            uc.attach_telemetry(&telemetry);
+        }
+        let mut prefetcher: Box<dyn InstPrefetcher> = match cfg.prefetcher {
             PrefetcherKind::None => Box::new(NoPrefetch),
             PrefetcherKind::FnlMma => Box::new(FnlMma::new(false)),
             PrefetcherKind::FnlMmaPlusPlus => Box::new(FnlMma::new(true)),
@@ -242,6 +283,14 @@ impl<'p> Simulator<'p> {
             PrefetcherKind::Ep => Box::new(Entangling::new(false)),
             PrefetcherKind::EpPlusPlus => Box::new(Entangling::new(true)),
         };
+        prefetcher.attach_telemetry(&telemetry);
+        let mut hier = Hierarchy::new(&cfg.mem);
+        hier.attach_telemetry(&telemetry);
+        let ucp = cfg.ucp.enabled.then(|| {
+            let mut u = UcpEngine::new(cfg.ucp.clone());
+            u.attach_telemetry(&telemetry);
+            u
+        });
         let entry = prog.entry();
         Simulator {
             oracle: Oracle::new(prog, seed),
@@ -256,13 +305,13 @@ impl<'p> Simulator<'p> {
             ras: Ras::new(64),
             uop_cache,
             uop_ideal,
-            hier: Hierarchy::new(&cfg.mem),
+            hier,
             prefetcher,
             prefetch_pq: BoundedQueue::new(32),
             mrc: cfg.mrc_entries.map(Mrc::new),
             mrc_filling: false,
             mrc_stream_left: 0,
-            ucp: cfg.ucp.enabled.then(|| UcpEngine::new(cfg.ucp.clone())),
+            ucp,
             agen_pc: entry,
             agen_pos: Some(0),
             agen_stall_until: 0,
@@ -287,16 +336,33 @@ impl<'p> Simulator<'p> {
             last_commit_cycle: 0,
             measuring: false,
             stats: SimStats::default(),
+            tele: SimTelemetry::bound_to(telemetry),
             prog,
             cfg: cfg.clone(),
         }
     }
 
+    /// The telemetry handle this simulator reports into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele.handle
+    }
+
     /// Convenience: build the workload's program and run it.
     pub fn run_spec(spec: &WorkloadSpec, cfg: &SimConfig, warmup: u64, measure: u64) -> SimStats {
+        Simulator::run_spec_full(spec, cfg, warmup, measure).0
+    }
+
+    /// Like [`Simulator::run_spec`], but also returns the telemetry
+    /// registry's measurement-window delta (what suite runners persist).
+    pub fn run_spec_full(
+        spec: &WorkloadSpec,
+        cfg: &SimConfig,
+        warmup: u64,
+        measure: u64,
+    ) -> (SimStats, RegistrySnapshot) {
         let prog = spec.build();
         let mut sim = Simulator::new(&prog, spec.seed, cfg);
-        sim.run(warmup, measure)
+        sim.run_instrumented(warmup, measure)
     }
 
     /// Runs `warmup` instructions with statistics off, then `measure`
@@ -307,6 +373,15 @@ impl<'p> Simulator<'p> {
     /// Panics if the pipeline deadlocks (no commit for 500k cycles) —
     /// always a simulator bug, never a workload property.
     pub fn run(&mut self, warmup: u64, measure: u64) -> SimStats {
+        self.run_instrumented(warmup, measure).0
+    }
+
+    /// [`Simulator::run`] plus the telemetry registry's delta over the
+    /// measurement window. Registry counters tick through warm-up too (they
+    /// are not gated on `measuring`); the window is carved out by
+    /// snapshotting at the measurement boundary and diffing at the end —
+    /// the same pattern as the L1I and UCP statistics below.
+    pub fn run_instrumented(&mut self, warmup: u64, measure: u64) -> (SimStats, RegistrySnapshot) {
         while self.committed < warmup {
             self.cycle();
         }
@@ -317,6 +392,7 @@ impl<'p> Simulator<'p> {
         let start_committed = self.committed;
         let l1i0 = *self.hier.l1i_stats();
         let ucp0 = self.ucp.as_ref().map(|u| u.stats.clone());
+        let reg0 = self.tele.handle.registry.snapshot();
         let end = start_committed + measure;
         while self.committed < end {
             self.cycle();
@@ -329,7 +405,8 @@ impl<'p> Simulator<'p> {
         if let (Some(u), Some(u0)) = (self.ucp.as_ref(), ucp0.as_ref()) {
             self.stats.ucp = u.stats.delta_since(u0);
         }
-        std::mem::take(&mut self.stats)
+        let telemetry = self.tele.handle.registry.snapshot().delta_since(&reg0);
+        (std::mem::take(&mut self.stats), telemetry)
     }
 
     /// The materialized correct-path instruction at absolute position `pos`.
@@ -342,6 +419,9 @@ impl<'p> Simulator<'p> {
 
     /// One machine cycle.
     fn cycle(&mut self) {
+        if self.tele.handle.tracer.is_active() {
+            self.tele.handle.tracer.set_cycle(self.now);
+        }
         self.demand_uop_banks = [false; 2];
         self.process_resolutions();
         self.commit_stage();
@@ -421,11 +501,8 @@ impl<'p> Simulator<'p> {
                 if rec.actual_taken {
                     // Keep the BTB's taken target fresh (and allocate
                     // never-taken-before branches).
-                    self.btb.insert(
-                        rec.pc,
-                        rec.actual_next,
-                        BranchClass::CondDirect,
-                    );
+                    self.btb
+                        .insert(rec.pc, rec.actual_next, BranchClass::CondDirect);
                 }
             }
             RecKind::Indirect { is_call } => {
@@ -438,7 +515,11 @@ impl<'p> Simulator<'p> {
                 self.btb.insert(
                     rec.pc,
                     rec.actual_next,
-                    if is_call { BranchClass::IndirectCall } else { BranchClass::IndirectJump },
+                    if is_call {
+                        BranchClass::IndirectCall
+                    } else {
+                        BranchClass::IndirectJump
+                    },
                 );
                 if self.measuring && rec.mispredicted && !rec.no_target {
                     self.stats.indirect_mispredicts += 1;
@@ -457,6 +538,18 @@ impl<'p> Simulator<'p> {
 
     fn do_flush(&mut self, rec: PredRecord, rec_id: u64) {
         let pos = rec.pos.expect("flush on a correct-path record");
+        self.tele.flushes.inc();
+        self.tele
+            .handle
+            .tracer
+            .emit(Category::Pipeline, "flush", || {
+                format!(
+                    "pc={:#x} kind={:?} next={:#x}",
+                    rec.pc.raw(),
+                    rec.kind,
+                    rec.actual_next.raw()
+                )
+            });
         // Restore speculative state to just before this branch, then apply
         // the architectural outcome.
         self.bp_hist.restore(&rec.cp_bp);
@@ -588,6 +681,7 @@ impl<'p> Simulator<'p> {
     /// Issues L1I fetches for FTQ blocks ahead of delivery — this is what
     /// makes the frontend *decoupled*: L1I misses (including wrong-path
     /// ones) overlap, and the standalone prefetcher observes the stream.
+    #[allow(clippy::explicit_counter_loop)] // `scanned` caps work, `i` indexes
     fn fetch_schedule_stage(&mut self) {
         let mut issued = 0;
         let mut scanned = 0;
@@ -621,7 +715,8 @@ impl<'p> Simulator<'p> {
             }
             match self.hier.access_inst(blk.start, self.now, false) {
                 Ok(acc) => {
-                    self.prefetcher.on_access(blk.start.line(), acc.level == HitLevel::L1);
+                    self.prefetcher
+                        .on_access(blk.start.line(), acc.level == HitLevel::L1);
                     if let Some(b) = self.ftq.get_mut(i) {
                         b.fetch_ready = Some(acc.ready);
                     }
@@ -651,7 +746,11 @@ impl<'p> Simulator<'p> {
                     if self.measuring {
                         self.stats.uop_hits += 1;
                     }
-                    let trig = if hit.first_prefetch_use { hit.trigger } else { 0 };
+                    let trig = if hit.first_prefetch_use {
+                        hit.trigger
+                    } else {
+                        0
+                    };
                     return (true, false, trig);
                 }
             }
@@ -670,9 +769,15 @@ impl<'p> Simulator<'p> {
             return false;
         }
         for i in 0..blk.n {
-            let pos = if i < blk.diverge_at { blk.pos.map(|p| p + u64::from(i)) } else { None };
+            let pos = if i < blk.diverge_at {
+                blk.pos.map(|p| p + u64::from(i))
+            } else {
+                None
+            };
             let rec = blk.rec_at(i);
-            self.uopq.push(UopQEntry { pos, ready, rec }).expect("room checked above");
+            self.uopq
+                .push(UopQEntry { pos, ready, rec })
+                .expect("room checked above");
         }
         if self.measuring {
             if from_cache {
@@ -691,6 +796,11 @@ impl<'p> Simulator<'p> {
         if self.measuring {
             self.stats.mode_switches += 1;
         }
+        self.tele.mode_switches.inc();
+        self.tele
+            .handle
+            .tracer
+            .emit(Category::Frontend, "mode_switch", || format!("to={to:?}"));
     }
 
     fn deliver_stage(&mut self) {
@@ -701,6 +811,7 @@ impl<'p> Simulator<'p> {
         let mut decode_uops = self.cfg.frontend.decode_width;
         let mut windows = self.cfg.frontend.windows_per_cycle;
         let has_uop_path = self.uop_ideal || self.uop_cache.is_some();
+        #[allow(clippy::while_let_loop)] // body also breaks mid-iteration
         loop {
             let Some(blk) = self.ftq.front().copied() else {
                 break;
@@ -712,7 +823,11 @@ impl<'p> Simulator<'p> {
                     }
                     let (hit, forced, trig) = self.head_block_hits(&blk);
                     if hit {
-                        if !self.deliver_block_uops(blk, self.now + self.cfg.frontend.uop_path_delay, true) {
+                        if !self.deliver_block_uops(
+                            blk,
+                            self.now + self.cfg.frontend.uop_path_delay,
+                            true,
+                        ) {
                             break;
                         }
                         if trig != 0 {
@@ -733,7 +848,10 @@ impl<'p> Simulator<'p> {
                 }
                 Mode::Build => {
                     // Parallel µ-op cache probe at block starts.
-                    if has_uop_path && self.head_delivered == 0 && windows > 0 && cache_uops >= u32::from(blk.n)
+                    if has_uop_path
+                        && self.head_delivered == 0
+                        && windows > 0
+                        && cache_uops >= u32::from(blk.n)
                     {
                         let (hit, forced, trig) = self.head_block_hits(&blk);
                         if hit {
@@ -801,7 +919,11 @@ impl<'p> Simulator<'p> {
                         };
                         let rec = blk.rec_at(i);
                         self.uopq
-                            .push(UopQEntry { pos, ready: base_ready, rec })
+                            .push(UopQEntry {
+                                pos,
+                                ready: base_ready,
+                                rec,
+                            })
                             .expect("room checked");
                     }
                     if self.measuring {
@@ -953,7 +1075,18 @@ impl<'p> Simulator<'p> {
             let cp_ras = self.ras.checkpoint();
             let cp_alt = self.ucp.as_ref().map(|u| u.checkpoints());
 
-            let (predicted_taken, predicted_next, kind, scl, itt, alt_scl, alt_itt, h2p_t, h2p_u, no_target);
+            let (
+                predicted_taken,
+                predicted_next,
+                kind,
+                scl,
+                itt,
+                alt_scl,
+                alt_itt,
+                h2p_t,
+                h2p_u,
+                no_target,
+            );
             match class {
                 BranchClass::CondDirect => {
                     let target = inst.kind.direct_target().expect("cond direct");
@@ -1021,7 +1154,11 @@ impl<'p> Simulator<'p> {
                         debug_assert_eq!(d.pc, pc, "agen desynchronized from the oracle");
                         debug_assert_eq!(d.next_pc, target);
                     }
-                    self.agen_pos = if diverge_at != u8::MAX { None } else { cur_pos.map(|p| p + 1) };
+                    self.agen_pos = if diverge_at != u8::MAX {
+                        None
+                    } else {
+                        cur_pos.map(|p| p + 1)
+                    };
                     self.agen_pc = next;
                     return Some(FetchBlock {
                         start,
@@ -1138,8 +1275,11 @@ impl<'p> Simulator<'p> {
 
             if mispredicted && self.pending_mispredict.is_none() {
                 self.pending_mispredict = Some(id);
-                if self.measuring && no_target {
-                    self.stats.btb_resteers += 1;
+                if no_target {
+                    if self.measuring {
+                        self.stats.btb_resteers += 1;
+                    }
+                    self.tele.resteers.inc();
                 }
             }
 
@@ -1194,6 +1334,11 @@ impl<'p> Simulator<'p> {
         if self.measuring {
             self.stats.btb_resteers += 1;
         }
+        self.tele.resteers.inc();
+        self.tele
+            .handle
+            .tracer
+            .emit(Category::Frontend, "btb_resteer", String::new);
     }
 
     // ------------------------------------------------------------------
@@ -1214,6 +1359,13 @@ impl<'p> Simulator<'p> {
                 if self.measuring {
                     self.stats.l1i_prefetches_issued += 1;
                 }
+                self.tele.l1i_prefetches.inc();
+                self.tele
+                    .handle
+                    .tracer
+                    .emit(Category::Prefetch, "l1i_issue", || {
+                        format!("line={:#x}", line.raw())
+                    });
             }
         }
     }

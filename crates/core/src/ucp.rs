@@ -18,12 +18,12 @@ use crate::config::{ConfKind, UcpConfig};
 use crate::stats::UcpStats;
 use sim_isa::{Addr, BranchClass};
 use ucp_bpred::{
-    push_target_history, ConfidenceEstimator, HistCheckpoint, HistoryState, Ittage,
-    IttageParams, IttagePrediction, Provider, SclPrediction, SclPreset, TageConf, TageScL,
-    UcpConf,
+    push_target_history, ConfidenceEstimator, HistCheckpoint, HistoryState, Ittage, IttageParams,
+    IttagePrediction, Provider, SclPrediction, SclPreset, TageConf, TageScL, UcpConf,
 };
 use ucp_frontend::{BoundedQueue, Btb, Ras, UopCache};
 use ucp_mem::Hierarchy;
+use ucp_telemetry::{Category, Counter, Telemetry, Tracer};
 use ucp_workloads::Program;
 
 /// A fetch block generated on the alternate path.
@@ -74,6 +74,40 @@ pub struct UcpCycleOut {
     pub demand_window_steal: bool,
 }
 
+/// Telemetry handles for the `ucp.*` namespace; detached until
+/// [`UcpEngine::attach_telemetry`]. These mirror the [`UcpStats`] fields
+/// the engine already keeps — the duplication is deliberate: `stats` is
+/// windowed by the pipeline's measurement delta, while the registry delta
+/// is computed independently so cross-layer reports share one mechanism.
+#[derive(Debug, Default)]
+struct UcpTelemetry {
+    tracer: Tracer,
+    walks_started: Counter,
+    walks_preempted: Counter,
+    walks_stopped: Counter,
+    lines_prefetched: Counter,
+    entries_inserted: Counter,
+    filtered_present: Counter,
+    demand_steals: Counter,
+    btb_conflicts: Counter,
+}
+
+impl UcpTelemetry {
+    fn bound_to(t: &Telemetry) -> Self {
+        UcpTelemetry {
+            tracer: t.tracer.clone(),
+            walks_started: t.registry.counter("ucp.walks_started"),
+            walks_preempted: t.registry.counter("ucp.walks_preempted"),
+            walks_stopped: t.registry.counter("ucp.walks_stopped"),
+            lines_prefetched: t.registry.counter("ucp.lines_prefetched"),
+            entries_inserted: t.registry.counter("ucp.entries_inserted"),
+            filtered_present: t.registry.counter("ucp.filtered_present"),
+            demand_steals: t.registry.counter("ucp.demand_window_steals"),
+            btb_conflicts: t.registry.counter("ucp.btb_conflicts"),
+        }
+    }
+}
+
 /// The UCP alternate-path prefetch engine.
 #[derive(Debug)]
 pub struct UcpEngine {
@@ -96,6 +130,7 @@ pub struct UcpEngine {
     recent_triggers: std::collections::VecDeque<u64>,
     /// Statistics (drained into `SimStats` by the pipeline).
     pub stats: UcpStats,
+    tele: UcpTelemetry,
 }
 
 impl UcpEngine {
@@ -126,8 +161,15 @@ impl UcpEngine {
             trigger_seq: 0,
             recent_triggers: std::collections::VecDeque::with_capacity(16),
             stats: UcpStats::default(),
+            tele: UcpTelemetry::default(),
             cfg,
         }
+    }
+
+    /// Binds the `ucp.*` counters and the `Ucp` trace category to `t`'s
+    /// registry and tracer.
+    pub fn attach_telemetry(&mut self, t: &Telemetry) {
+        self.tele = UcpTelemetry::bound_to(t);
     }
 
     /// The configuration.
@@ -147,9 +189,16 @@ impl UcpEngine {
 
     /// Mirrors a taken-transfer target push and returns the Alt-Ind
     /// prediction (for indirect branches) for training at resolution.
-    pub fn on_taken_target(&mut self, pc: Addr, target: Addr, indirect: bool) -> Option<IttagePrediction> {
+    pub fn on_taken_target(
+        &mut self,
+        pc: Addr,
+        target: Addr,
+        indirect: bool,
+    ) -> Option<IttagePrediction> {
         let pred = if indirect {
-            self.alt_ind.as_ref().map(|i| i.predict(&self.alt_ind_mirror, pc))
+            self.alt_ind
+                .as_ref()
+                .map(|i| i.predict(&self.alt_ind_mirror, pc))
         } else {
             None
         };
@@ -159,7 +208,10 @@ impl UcpEngine {
 
     /// Checkpoints the mirror histories (stored in the branch record).
     pub fn checkpoints(&self) -> (HistCheckpoint, HistCheckpoint) {
-        (self.alt_bp_mirror.checkpoint(), self.alt_ind_mirror.checkpoint())
+        (
+            self.alt_bp_mirror.checkpoint(),
+            self.alt_ind_mirror.checkpoint(),
+        )
     }
 
     /// Restores the mirrors on a pipeline flush, pushes the corrected
@@ -214,17 +266,21 @@ impl UcpEngine {
     /// Starts (or restarts) an alternate-path walk at `alt_target`,
     /// opposite to the predicted direction of the H2P branch. The current
     /// walk, if any, is preempted (§IV-E case 1).
-    pub fn trigger(
-        &mut self,
-        alt_target: Addr,
-        h2p_predicted_taken: bool,
-        main_ras: &Ras,
-    ) {
+    pub fn trigger(&mut self, alt_target: Addr, h2p_predicted_taken: bool, main_ras: &Ras) {
         if self.walk.is_some() {
             self.stats.preempted += 1;
+            self.tele.walks_preempted.inc();
         }
         self.trigger_seq += 1;
         self.stats.walks_started += 1;
+        self.tele.walks_started.inc();
+        let trigger_seq = self.trigger_seq;
+        self.tele.tracer.emit(Category::Ucp, "walk_start", || {
+            format!(
+                "target={:#x} trigger={trigger_seq} h2p_taken={h2p_predicted_taken}",
+                alt_target.raw()
+            )
+        });
         if self.recent_triggers.len() >= 16 {
             self.recent_triggers.pop_front();
         }
@@ -268,6 +324,10 @@ impl UcpEngine {
     }
 
     fn stop_walk(&mut self, reason: StopReason) {
+        self.tele.walks_stopped.inc();
+        self.tele
+            .tracer
+            .emit(Category::Ucp, "walk_stop", || format!("reason={reason:?}"));
         match reason {
             StopReason::Threshold => self.stats.stopped_threshold += 1,
             StopReason::BtbMiss => self.stats.stopped_btb_miss += 1,
@@ -305,7 +365,13 @@ impl UcpEngine {
     }
 
     /// Generates one alternate-path fetch block.
-    fn step_walk(&mut self, prog: &Program, btb: &Btb, demand_btb_banks: u64, out: &mut UcpCycleOut) {
+    fn step_walk(
+        &mut self,
+        prog: &Program,
+        btb: &Btb,
+        demand_btb_banks: u64,
+        out: &mut UcpCycleOut,
+    ) {
         let Some(mut walk) = self.walk.take() else {
             return;
         };
@@ -322,10 +388,17 @@ impl UcpEngine {
                 if walk.conflict_ctr >= 7 {
                     out.demand_window_steal = true;
                     self.stats.demand_steals += 1;
+                    self.tele.demand_steals.inc();
+                    self.tele
+                        .tracer
+                        .emit(Category::Ucp, "demand_window_steal", || {
+                            format!("pc={:#x}", walk.pc.raw())
+                        });
                     walk.conflict_ctr = 0;
                 } else {
                     walk.conflict_ctr += 1;
                     self.stats.btb_conflicts += 1;
+                    self.tele.btb_conflicts.inc();
                     self.walk = Some(walk);
                     return;
                 }
@@ -418,7 +491,11 @@ impl UcpEngine {
         }
 
         if n > 0 {
-            let blk = AltBlock { start, n, trigger: walk.trigger };
+            let blk = AltBlock {
+                start,
+                n,
+                trigger: walk.trigger,
+            };
             let _ = self.alt_ftq.push(blk);
         }
         walk.pc = next;
@@ -451,6 +528,7 @@ impl UcpEngine {
             }
             if uc.probe(blk.start) {
                 self.stats.filtered_present += 1;
+                self.tele.filtered_present.inc();
                 let _ = self.alt_ftq.pop();
                 return;
             }
@@ -468,7 +546,19 @@ impl UcpEngine {
             Ok(acc) => {
                 let _ = self.l1i_pq.pop();
                 self.stats.lines_prefetched += 1;
-                self.pending.push(PendingPf { block: blk, ready: acc.ready });
+                self.tele.lines_prefetched.inc();
+                self.tele.tracer.emit(Category::Ucp, "line_prefetch", || {
+                    format!(
+                        "line={:#x} trigger={} ready={}",
+                        blk.start.line().raw(),
+                        blk.trigger,
+                        acc.ready
+                    )
+                });
+                self.pending.push(PendingPf {
+                    block: blk,
+                    ready: acc.ready,
+                });
             }
             Err(_) => { /* L1I MSHR full; retry next cycle */ }
         }
@@ -531,11 +621,21 @@ impl UcpEngine {
             if self.decode_progress >= u32::from(blk.n) {
                 let _ = self.decode_q.pop();
                 self.decode_progress = 0;
-                for spec in crate::pipeline::build_entries(prog, blk.start, blk.n, true, blk.trigger)
+                for spec in
+                    crate::pipeline::build_entries(prog, blk.start, blk.n, true, blk.trigger)
                 {
                     uc.insert(spec);
                     self.stats.entries_inserted += 1;
+                    self.tele.entries_inserted.inc();
                 }
+                self.tele.tracer.emit(Category::Ucp, "alt_fill", || {
+                    format!(
+                        "start={:#x} n={} trigger={}",
+                        blk.start.raw(),
+                        blk.n,
+                        blk.trigger
+                    )
+                });
             }
         }
     }
@@ -597,8 +697,14 @@ mod tests {
     fn table1_weights() {
         assert_eq!(cond_stop_weight(&pred_with(Provider::Bimodal, 1, 0)), 1);
         assert_eq!(cond_stop_weight(&pred_with(Provider::Bimodal, 0, 0)), 2);
-        assert_eq!(cond_stop_weight(&pred_with(Provider::BimodalLow8, -2, 0)), 2);
-        assert_eq!(cond_stop_weight(&pred_with(Provider::BimodalLow8, -1, 0)), 6);
+        assert_eq!(
+            cond_stop_weight(&pred_with(Provider::BimodalLow8, -2, 0)),
+            2
+        );
+        assert_eq!(
+            cond_stop_weight(&pred_with(Provider::BimodalLow8, -1, 0)),
+            6
+        );
         assert_eq!(cond_stop_weight(&pred_with(Provider::HitBank, 3, 0)), 1);
         assert_eq!(cond_stop_weight(&pred_with(Provider::HitBank, -3, 0)), 3);
         assert_eq!(cond_stop_weight(&pred_with(Provider::HitBank, 1, 0)), 4);
@@ -614,7 +720,10 @@ mod tests {
 
     #[test]
     fn trigger_and_preempt() {
-        let mut e = UcpEngine::new(UcpConfig { enabled: true, ..UcpConfig::default() });
+        let mut e = UcpEngine::new(UcpConfig {
+            enabled: true,
+            ..UcpConfig::default()
+        });
         let ras = Ras::new(64);
         e.trigger(Addr::new(0x1000), true, &ras);
         assert!(e.walking());
@@ -626,7 +735,10 @@ mod tests {
 
     #[test]
     fn flush_aborts_walk_and_clears_ftq() {
-        let mut e = UcpEngine::new(UcpConfig { enabled: true, ..UcpConfig::default() });
+        let mut e = UcpEngine::new(UcpConfig {
+            enabled: true,
+            ..UcpConfig::default()
+        });
         let ras = Ras::new(64);
         let cps = e.checkpoints();
         e.trigger(Addr::new(0x1000), true, &ras);
@@ -637,7 +749,10 @@ mod tests {
 
     #[test]
     fn timeliness_window() {
-        let mut e = UcpEngine::new(UcpConfig { enabled: true, ..UcpConfig::default() });
+        let mut e = UcpEngine::new(UcpConfig {
+            enabled: true,
+            ..UcpConfig::default()
+        });
         let ras = Ras::new(64);
         e.trigger(Addr::new(0x1000), true, &ras); // trigger 1
         e.record_entry_use(1);
@@ -652,7 +767,10 @@ mod tests {
 
     #[test]
     fn mirror_predictions_are_returned_for_training() {
-        let mut e = UcpEngine::new(UcpConfig { enabled: true, ..UcpConfig::default() });
+        let mut e = UcpEngine::new(UcpConfig {
+            enabled: true,
+            ..UcpConfig::default()
+        });
         let pc = Addr::new(0x400);
         for i in 0..200u32 {
             let p = e.on_cond_predicted(pc, i % 2 == 0);

@@ -22,12 +22,20 @@ pub struct BtbConfig {
 impl BtbConfig {
     /// Table II baseline: 64K entries, 4-way, 16 banks.
     pub fn baseline() -> Self {
-        BtbConfig { total_entries: 64 * 1024, ways: 4, banks: 16 }
+        BtbConfig {
+            total_entries: 64 * 1024,
+            ways: 4,
+            banks: 16,
+        }
     }
 
     /// UCP configuration: same capacity, 32 banks (§IV-C).
     pub fn ucp_32_banks() -> Self {
-        BtbConfig { total_entries: 64 * 1024, ways: 4, banks: 32 }
+        BtbConfig {
+            total_entries: 64 * 1024,
+            ways: 4,
+            banks: 32,
+        }
     }
 }
 
@@ -51,7 +59,13 @@ struct Slot {
 
 impl Default for Slot {
     fn default() -> Self {
-        Slot { valid: false, tag: 0, target: Addr::NULL, class: BranchClass::CondDirect, lru: 0 }
+        Slot {
+            valid: false,
+            tag: 0,
+            target: Addr::NULL,
+            class: BranchClass::CondDirect,
+            lru: 0,
+        }
     }
 }
 
@@ -119,7 +133,10 @@ impl Btb {
             if s.valid && s.tag == tag {
                 s.lru = self.stamp;
                 self.hits += 1;
-                return Some(BtbEntry { target: s.target, class: s.class });
+                return Some(BtbEntry {
+                    target: s.target,
+                    class: s.class,
+                });
             }
         }
         None
@@ -133,7 +150,10 @@ impl Btb {
         self.slots[base..base + self.cfg.ways]
             .iter()
             .find(|s| s.valid && s.tag == tag)
-            .map(|s| BtbEntry { target: s.target, class: s.class })
+            .map(|s| BtbEntry {
+                target: s.target,
+                class: s.class,
+            })
     }
 
     /// Inserts or updates the entry for the branch at `pc`.
@@ -156,7 +176,13 @@ impl Btb {
             .iter_mut()
             .min_by_key(|s| if s.valid { s.lru } else { 0 })
             .expect("ways nonempty");
-        *victim = Slot { valid: true, tag, target, class, lru: self.stamp };
+        *victim = Slot {
+            valid: true,
+            tag,
+            target,
+            class,
+            lru: self.stamp,
+        };
     }
 
     /// Demand hit rate so far.
@@ -180,7 +206,11 @@ mod tests {
     use super::*;
 
     fn small() -> Btb {
-        Btb::new(BtbConfig { total_entries: 64, ways: 4, banks: 8 })
+        Btb::new(BtbConfig {
+            total_entries: 64,
+            ways: 4,
+            banks: 8,
+        })
     }
 
     #[test]
@@ -191,7 +221,10 @@ mod tests {
         b.insert(pc, Addr::new(0x2000), BranchClass::CondDirect);
         assert_eq!(
             b.lookup(pc),
-            Some(BtbEntry { target: Addr::new(0x2000), class: BranchClass::CondDirect })
+            Some(BtbEntry {
+                target: Addr::new(0x2000),
+                class: BranchClass::CondDirect
+            })
         );
     }
 
@@ -222,7 +255,10 @@ mod tests {
     fn banks_interleave_by_pc() {
         let b = small();
         assert_ne!(b.bank_of(Addr::new(0x1000)), b.bank_of(Addr::new(0x1004)));
-        assert_eq!(b.bank_of(Addr::new(0x1000)), b.bank_of(Addr::new(0x1000 + 8 * 4)));
+        assert_eq!(
+            b.bank_of(Addr::new(0x1000)),
+            b.bank_of(Addr::new(0x1000 + 8 * 4))
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ impl<T> BoundedQueue<T> {
     /// Panics if `cap` is zero.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "queue capacity must be nonzero");
-        BoundedQueue { q: VecDeque::with_capacity(cap), cap }
+        BoundedQueue {
+            q: VecDeque::with_capacity(cap),
+            cap,
+        }
     }
 
     /// Capacity.

@@ -32,7 +32,11 @@ impl Ras {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Ras { entries: vec![Addr::NULL; capacity], sp: 0, depth: 0 }
+        Ras {
+            entries: vec![Addr::NULL; capacity],
+            sp: 0,
+            depth: 0,
+        }
     }
 
     /// Number of live entries (≤ capacity).
@@ -73,7 +77,11 @@ impl Ras {
 
     /// Captures a checkpoint.
     pub fn checkpoint(&self) -> RasCheckpoint {
-        RasCheckpoint { sp: self.sp, depth: self.depth, top: self.peek().unwrap_or(Addr::NULL) }
+        RasCheckpoint {
+            sp: self.sp,
+            depth: self.depth,
+            top: self.peek().unwrap_or(Addr::NULL),
+        }
     }
 
     /// Restores a checkpoint (repairs the top entry).

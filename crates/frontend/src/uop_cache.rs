@@ -12,6 +12,7 @@
 
 use serde::Serialize;
 use sim_isa::Addr;
+use ucp_telemetry::{Category, Counter, Telemetry, Tracer};
 
 /// µ-op cache geometry.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
@@ -27,7 +28,11 @@ pub struct UopCacheConfig {
 impl UopCacheConfig {
     /// Table II baseline: 4Kops = 64 sets × 8 ways × 8 µ-ops.
     pub fn kops_4() -> Self {
-        UopCacheConfig { sets: 64, ways: 8, uops_per_entry: 8 }
+        UopCacheConfig {
+            sets: 64,
+            ways: 8,
+            uops_per_entry: 8,
+        }
     }
 
     /// A scaled configuration holding `kops × 1024` µ-ops (ways and entry
@@ -38,7 +43,11 @@ impl UopCacheConfig {
     /// Panics unless `kops` is a power of two ≥ 4.
     pub fn kops(kops: usize) -> Self {
         assert!(kops >= 4 && kops.is_power_of_two());
-        UopCacheConfig { sets: 16 * kops, ways: 8, uops_per_entry: 8 }
+        UopCacheConfig {
+            sets: 16 * kops,
+            ways: 8,
+            uops_per_entry: 8,
+        }
     }
 
     /// Total µ-op capacity.
@@ -47,8 +56,8 @@ impl UopCacheConfig {
     }
 
     /// Storage in bits: per entry, `uops_per_entry` 32-bit µ-ops + tag(20)
-    /// + start offset(3) + count(4) + two branch-target immediates (2×32) +
-    /// valid/LRU/meta(8).
+    ///   + start offset(3) + count(4) + two branch-target immediates (2×32)
+    ///   + valid/LRU/meta(8).
     pub fn storage_bits(&self) -> u64 {
         let per_entry = self.uops_per_entry as u64 * 32 + 20 + 3 + 4 + 64 + 8;
         (self.sets * self.ways) as u64 * per_entry
@@ -148,6 +157,32 @@ pub struct UopCacheStats {
     pub prefetch_evicted_unused: u64,
 }
 
+/// Telemetry handles for the `frontend.uopc.*` namespace; detached (and
+/// therefore unobservable but still branch-free) until
+/// [`UopCache::attach_telemetry`] binds them.
+#[derive(Clone, Debug, Default)]
+struct UopcTelemetry {
+    tracer: Tracer,
+    hits: Counter,
+    misses: Counter,
+    demand_fills: Counter,
+    prefetch_fills: Counter,
+    evictions: Counter,
+}
+
+impl UopcTelemetry {
+    fn bound_to(t: &Telemetry) -> Self {
+        UopcTelemetry {
+            tracer: t.tracer.clone(),
+            hits: t.registry.counter("frontend.uopc.hits"),
+            misses: t.registry.counter("frontend.uopc.misses"),
+            demand_fills: t.registry.counter("frontend.uopc.demand_fills"),
+            prefetch_fills: t.registry.counter("frontend.uopc.prefetch_fills"),
+            evictions: t.registry.counter("frontend.uopc.evictions"),
+        }
+    }
+}
+
 /// The µ-op cache.
 #[derive(Clone, Debug)]
 pub struct UopCache {
@@ -155,6 +190,7 @@ pub struct UopCache {
     slots: Vec<Slot>,
     stamp: u64,
     stats: UopCacheStats,
+    tele: UopcTelemetry,
 }
 
 impl UopCache {
@@ -169,8 +205,15 @@ impl UopCache {
             slots: vec![Slot::default(); cfg.sets * cfg.ways],
             stamp: 0,
             stats: UopCacheStats::default(),
+            tele: UopcTelemetry::default(),
             cfg,
         }
+    }
+
+    /// Binds the `frontend.uopc.*` counters and the `UopCache` trace
+    /// category to `t`'s registry and tracer.
+    pub fn attach_telemetry(&mut self, t: &Telemetry) {
+        self.tele = UopcTelemetry::bound_to(t);
     }
 
     /// The geometry.
@@ -208,9 +251,15 @@ impl UopCache {
                 let first = s.prefetched && !s.used;
                 s.used = true;
                 self.stats.hits += 1;
-                return Some(UopHit { num_uops: s.num_uops, first_prefetch_use: first, trigger: s.trigger });
+                self.tele.hits.inc();
+                return Some(UopHit {
+                    num_uops: s.num_uops,
+                    first_prefetch_use: first,
+                    trigger: s.trigger,
+                });
             }
         }
+        self.tele.misses.inc();
         None
     }
 
@@ -232,9 +281,20 @@ impl UopCache {
         let base = set * self.cfg.ways;
         if spec.prefetched {
             self.stats.prefetch_fills += 1;
+            self.tele.prefetch_fills.inc();
         } else {
             self.stats.demand_fills += 1;
+            self.tele.demand_fills.inc();
         }
+        self.tele.tracer.emit(Category::UopCache, "insert", || {
+            format!(
+                "start={:#x} n={} prefetched={} trigger={}",
+                spec.start.raw(),
+                spec.num_uops,
+                spec.prefetched,
+                spec.trigger
+            )
+        });
         // Replace an identical-start entry in place.
         if let Some(s) = self.slots[base..base + self.cfg.ways]
             .iter_mut()
@@ -252,16 +312,25 @@ impl UopCache {
             .iter_mut()
             .min_by_key(|s| if s.valid { s.lru } else { 0 })
             .expect("ways nonempty");
-        let evicted = victim.valid.then(|| Evicted {
+        let evicted = victim.valid.then_some(Evicted {
             start: victim.start,
             prefetched: victim.prefetched,
             used: victim.used,
             trigger: victim.trigger,
         });
         if let Some(e) = &evicted {
+            self.tele.evictions.inc();
             if e.prefetched && !e.used {
                 self.stats.prefetch_evicted_unused += 1;
             }
+            self.tele.tracer.emit(Category::UopCache, "evict", || {
+                format!(
+                    "start={:#x} prefetched={} used={}",
+                    e.start.raw(),
+                    e.prefetched,
+                    e.used
+                )
+            });
         }
         *victim = Slot {
             valid: true,
@@ -334,7 +403,11 @@ mod tests {
 
     #[test]
     fn lru_eviction_within_set() {
-        let cfg = UopCacheConfig { sets: 2, ways: 2, uops_per_entry: 8 };
+        let cfg = UopCacheConfig {
+            sets: 2,
+            ways: 2,
+            uops_per_entry: 8,
+        };
         let mut u = UopCache::new(cfg);
         // Set index from bit 5: same set = window addresses 128 B apart.
         u.insert(spec(0x000, 8));
@@ -347,7 +420,11 @@ mod tests {
     #[test]
     fn prefetch_attribution_and_first_use() {
         let mut u = UopCache::new(UopCacheConfig::kops_4());
-        u.insert(UopEntrySpec { prefetched: true, trigger: 42, ..spec(0x2000, 6) });
+        u.insert(UopEntrySpec {
+            prefetched: true,
+            trigger: 42,
+            ..spec(0x2000, 6)
+        });
         assert_eq!(u.stats().prefetch_fills, 1);
         let h = u.lookup(Addr::new(0x2000)).unwrap();
         assert!(h.first_prefetch_use);
@@ -358,9 +435,17 @@ mod tests {
 
     #[test]
     fn unused_prefetch_eviction_counted() {
-        let cfg = UopCacheConfig { sets: 1, ways: 1, uops_per_entry: 8 };
+        let cfg = UopCacheConfig {
+            sets: 1,
+            ways: 1,
+            uops_per_entry: 8,
+        };
         let mut u = UopCache::new(cfg);
-        u.insert(UopEntrySpec { prefetched: true, trigger: 7, ..spec(0x000, 8) });
+        u.insert(UopEntrySpec {
+            prefetched: true,
+            trigger: 7,
+            ..spec(0x000, 8)
+        });
         u.insert(spec(0x020, 8)); // evicts the unused prefetch
         assert_eq!(u.stats().prefetch_evicted_unused, 1);
     }
@@ -391,8 +476,39 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_mirrors_fill_and_eviction_stats() {
+        let t = Telemetry::with_trace("uopc", 16);
+        let cfg = UopCacheConfig {
+            sets: 1,
+            ways: 1,
+            uops_per_entry: 8,
+        };
+        let mut u = UopCache::new(cfg);
+        u.attach_telemetry(&t);
+        u.insert(UopEntrySpec {
+            prefetched: true,
+            trigger: 3,
+            ..spec(0x000, 8)
+        });
+        u.insert(spec(0x020, 8)); // evicts the prefetch
+        let _ = u.lookup(Addr::new(0x020));
+        let _ = u.lookup(Addr::new(0x040));
+        let snap = t.registry.snapshot();
+        assert_eq!(snap.counters["frontend.uopc.prefetch_fills"], 1);
+        assert_eq!(snap.counters["frontend.uopc.demand_fills"], 1);
+        assert_eq!(snap.counters["frontend.uopc.evictions"], 1);
+        assert_eq!(snap.counters["frontend.uopc.hits"], 1);
+        assert_eq!(snap.counters["frontend.uopc.misses"], 1);
+        let names: Vec<&str> = t.tracer.events().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["insert", "insert", "evict"]);
+    }
+
+    #[test]
     fn storage_is_tens_of_kb() {
         let kb = UopCacheConfig::kops_4().storage_bits() / 8192;
-        assert!((15..30).contains(&kb), "4Kops µ-op cache ≈ 22 KB of storage, got {kb}");
+        assert!(
+            (15..30).contains(&kb),
+            "4Kops µ-op cache ≈ 22 KB of storage, got {kb}"
+        );
     }
 }

@@ -96,10 +96,18 @@ impl SetAssocCache {
     ///
     /// Panics if sets or ways are zero or sets is not a power of two.
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.sets.is_power_of_two() && cfg.sets > 0, "sets must be a power of two");
+        assert!(
+            cfg.sets.is_power_of_two() && cfg.sets > 0,
+            "sets must be a power of two"
+        );
         assert!(cfg.ways > 0, "ways must be nonzero");
         let n = cfg.sets * cfg.ways;
-        SetAssocCache { cfg, lines: vec![Line::default(); n], stamp: 0, stats: CacheStats::default() }
+        SetAssocCache {
+            cfg,
+            lines: vec![Line::default(); n],
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configuration this cache was built with.
@@ -169,7 +177,13 @@ impl SetAssocCache {
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
             .expect("ways is nonempty");
         let evicted = victim.valid.then(|| Addr::new(victim.tag << 6));
-        *victim = Line { tag: line, valid: true, lru: stamp, ready, prefetched: prefetch };
+        *victim = Line {
+            tag: line,
+            valid: true,
+            lru: stamp,
+            ready,
+            prefetched: prefetch,
+        };
         self.stats.fills += 1;
         if prefetch {
             self.stats.prefetch_fills += 1;
@@ -200,7 +214,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> SetAssocCache {
-        SetAssocCache::new(CacheConfig { name: "t", sets: 2, ways: 2, latency: 3 })
+        SetAssocCache::new(CacheConfig {
+            name: "t",
+            sets: 2,
+            ways: 2,
+            latency: 3,
+        })
     }
 
     #[test]
@@ -309,13 +328,23 @@ mod tests {
 
     #[test]
     fn capacity_bytes() {
-        let cfg = CacheConfig { name: "l1i", sets: 64, ways: 8, latency: 4 };
+        let cfg = CacheConfig {
+            name: "l1i",
+            sets: 64,
+            ways: 8,
+            latency: 4,
+        };
         assert_eq!(cfg.capacity_bytes(), 32 * 1024);
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_pow2_sets_rejected() {
-        let _ = SetAssocCache::new(CacheConfig { name: "x", sets: 3, ways: 1, latency: 1 });
+        let _ = SetAssocCache::new(CacheConfig {
+            name: "x",
+            sets: 3,
+            ways: 1,
+            latency: 1,
+        });
     }
 }

@@ -22,7 +22,13 @@ pub struct DramConfig {
 impl DramConfig {
     /// Table II values at a 4 GHz core: 12.5 ns = 50 cycles each.
     pub fn alder_lake() -> Self {
-        DramConfig { channels: 2, banks: 8, t_rp: 50, t_rcd: 50, t_cas: 50 }
+        DramConfig {
+            channels: 2,
+            banks: 8,
+            t_rp: 50,
+            t_rcd: 50,
+            t_cas: 50,
+        }
     }
 }
 
@@ -47,7 +53,12 @@ impl Dram {
     pub fn new(cfg: &DramConfig) -> Self {
         assert!(cfg.channels > 0 && cfg.banks > 0);
         let n = cfg.channels * cfg.banks;
-        Dram { cfg: cfg.clone(), banks: vec![(0, u64::MAX); n], accesses: 0, row_hits: 0 }
+        Dram {
+            cfg: cfg.clone(),
+            banks: vec![(0, u64::MAX); n],
+            accesses: 0,
+            row_hits: 0,
+        }
     }
 
     /// Performs one line access starting no earlier than `now`; returns the
@@ -122,7 +133,7 @@ mod tests {
         let t1 = d.access(a, 0);
         // Immediately hitting the same bank queues behind the burst.
         let t2 = d.access(a, 0);
-        assert!(t2 > 0 + 50, "second access must queue: {t2}");
+        assert!(t2 > 50, "second access must queue: {t2}");
         let _ = t1;
     }
 

@@ -6,6 +6,7 @@ use crate::mshr::Mshr;
 use crate::tlb::{Tlb, TlbConfig};
 use serde::{Deserialize, Serialize};
 use sim_isa::Addr;
+use ucp_telemetry::{Category, Counter, Histogram, Telemetry, Tracer};
 
 /// The level that serviced an access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,17 +73,79 @@ impl HierarchyConfig {
     /// The paper's Table II configuration (Intel Alder Lake P-core class).
     pub fn alder_lake() -> Self {
         HierarchyConfig {
-            l1i: CacheConfig { name: "L1I", sets: 64, ways: 8, latency: 4 },
-            l1d: CacheConfig { name: "L1D", sets: 64, ways: 12, latency: 5 },
-            l2: CacheConfig { name: "L2", sets: 1024, ways: 20, latency: 10 },
-            llc: CacheConfig { name: "LLC", sets: 4096, ways: 12, latency: 40 },
+            l1i: CacheConfig {
+                name: "L1I",
+                sets: 64,
+                ways: 8,
+                latency: 4,
+            },
+            l1d: CacheConfig {
+                name: "L1D",
+                sets: 64,
+                ways: 12,
+                latency: 5,
+            },
+            l2: CacheConfig {
+                name: "L2",
+                sets: 1024,
+                ways: 20,
+                latency: 10,
+            },
+            llc: CacheConfig {
+                name: "LLC",
+                sets: 4096,
+                ways: 12,
+                latency: 40,
+            },
             l1i_mshr: 16,
             l1d_mshr: 16,
-            itlb: TlbConfig { name: "ITLB", entries: 256, ways: 8, latency: 1 },
-            dtlb: TlbConfig { name: "DTLB", entries: 96, ways: 6, latency: 1 },
-            stlb: TlbConfig { name: "STLB", entries: 2048, ways: 16, latency: 8 },
+            itlb: TlbConfig {
+                name: "ITLB",
+                entries: 256,
+                ways: 8,
+                latency: 1,
+            },
+            dtlb: TlbConfig {
+                name: "DTLB",
+                entries: 96,
+                ways: 6,
+                latency: 1,
+            },
+            stlb: TlbConfig {
+                name: "STLB",
+                entries: 2048,
+                ways: 16,
+                latency: 8,
+            },
             page_walk_latency: 80,
             dram: DramConfig::alder_lake(),
+        }
+    }
+}
+
+/// Telemetry handles for the `mem.*` namespace. Detached by default (the
+/// counters still tick into unobservable cells, which keeps every
+/// increment site branch-free); [`Hierarchy::attach_telemetry`] rebinds
+/// them to a live registry.
+#[derive(Clone, Debug, Default)]
+struct MemTelemetry {
+    tracer: Tracer,
+    l1i_demand_misses: Counter,
+    l1d_demand_misses: Counter,
+    l1i_mshr_full: Counter,
+    l1d_mshr_full: Counter,
+    l1i_mshr_occupancy: Histogram,
+}
+
+impl MemTelemetry {
+    fn bound_to(t: &Telemetry) -> Self {
+        MemTelemetry {
+            tracer: t.tracer.clone(),
+            l1i_demand_misses: t.registry.counter("mem.l1i.demand_misses"),
+            l1d_demand_misses: t.registry.counter("mem.l1d.demand_misses"),
+            l1i_mshr_full: t.registry.counter("mem.l1i.mshr_full_stalls"),
+            l1d_mshr_full: t.registry.counter("mem.l1d.mshr_full_stalls"),
+            l1i_mshr_occupancy: t.registry.histogram("mem.l1i.mshr_occupancy"),
         }
     }
 }
@@ -104,6 +167,7 @@ pub struct Hierarchy {
     stlb: Tlb,
     page_walk_latency: u64,
     dram: Dram,
+    tele: MemTelemetry,
 }
 
 impl Hierarchy {
@@ -121,12 +185,23 @@ impl Hierarchy {
             stlb: Tlb::new(&cfg.stlb),
             page_walk_latency: cfg.page_walk_latency,
             dram: Dram::new(&cfg.dram),
+            tele: MemTelemetry::default(),
         }
+    }
+
+    /// Binds the `mem.*` counters/histograms and the `Mem` trace category
+    /// to `t`'s registry and tracer.
+    pub fn attach_telemetry(&mut self, t: &Telemetry) {
+        self.tele = MemTelemetry::bound_to(t);
     }
 
     /// Translation latency through ITLB/DTLB (+STLB, +walk).
     fn translate(&mut self, addr: Addr, now: u64, inst_side: bool) -> u64 {
-        let first = if inst_side { &mut self.itlb } else { &mut self.dtlb };
+        let first = if inst_side {
+            &mut self.itlb
+        } else {
+            &mut self.dtlb
+        };
         if let Some(lat) = first.lookup(addr, now) {
             return lat;
         }
@@ -172,16 +247,31 @@ impl Hierarchy {
     ///
     /// Returns [`MshrFull`] if the L1I MSHR cannot take another miss; the
     /// caller should retry on a later cycle.
-    pub fn access_inst(&mut self, addr: Addr, now: u64, prefetch: bool) -> Result<Access, MshrFull> {
+    pub fn access_inst(
+        &mut self,
+        addr: Addr,
+        now: u64,
+        prefetch: bool,
+    ) -> Result<Access, MshrFull> {
         self.l1i_mshr.drain(now);
+        self.tele
+            .l1i_mshr_occupancy
+            .observe(self.l1i_mshr.occupancy() as u64);
         if prefetch {
             // Prefetches bypass the demand hit/miss statistics: a resident
             // line makes the request a no-op, a miss walks the hierarchy
             // and fills with prefetch attribution.
             if self.l1i.probe(addr) {
-                return Ok(Access { ready: now + self.l1i.config().latency, level: HitLevel::L1 });
+                return Ok(Access {
+                    ready: now + self.l1i.config().latency,
+                    level: HitLevel::L1,
+                });
             }
             if self.l1i_mshr.is_full() {
+                self.tele.l1i_mshr_full.inc();
+                self.tele.tracer.emit(Category::Mem, "mshr_full", || {
+                    format!("level=l1i kind=prefetch line={:#x}", addr.raw())
+                });
                 return Err(MshrFull);
             }
             let t_miss = now + 1 + self.l1i.config().latency;
@@ -193,15 +283,26 @@ impl Hierarchy {
         let xlat = self.translate(addr, now, true);
         let t = now + xlat;
         match self.l1i.lookup(addr, t) {
-            LookupResult::Hit { ready } => Ok(Access { ready, level: HitLevel::L1 }),
+            LookupResult::Hit { ready } => Ok(Access {
+                ready,
+                level: HitLevel::L1,
+            }),
             LookupResult::Miss => {
                 if self.l1i_mshr.is_full() {
+                    self.tele.l1i_mshr_full.inc();
+                    self.tele.tracer.emit(Category::Mem, "mshr_full", || {
+                        format!("level=l1i kind=demand line={:#x}", addr.raw())
+                    });
                     return Err(MshrFull);
                 }
+                self.tele.l1i_demand_misses.inc();
                 let t_miss = t + self.l1i.config().latency;
                 let (ready, level) = self.fetch_from_l2(addr, t_miss, false);
                 self.l1i_mshr.allocate(addr, ready);
                 self.l1i.fill(addr, ready, false);
+                self.tele.tracer.emit(Category::Mem, "l1i_miss", || {
+                    format!("line={:#x} served_by={level:?} ready={ready}", addr.raw())
+                });
                 Ok(Access { ready, level })
             }
         }
@@ -217,11 +318,19 @@ impl Hierarchy {
         let xlat = self.translate(addr, now, false);
         let t = now + xlat;
         match self.l1d.lookup(addr, t) {
-            LookupResult::Hit { ready } => Ok(Access { ready, level: HitLevel::L1 }),
+            LookupResult::Hit { ready } => Ok(Access {
+                ready,
+                level: HitLevel::L1,
+            }),
             LookupResult::Miss => {
                 if self.l1d_mshr.is_full() {
+                    self.tele.l1d_mshr_full.inc();
+                    self.tele.tracer.emit(Category::Mem, "mshr_full", || {
+                        format!("level=l1d line={:#x}", addr.raw())
+                    });
                     return Err(MshrFull);
                 }
+                self.tele.l1d_demand_misses.inc();
                 let t_miss = t + self.l1d.config().latency;
                 let (ready, level) = self.fetch_from_l2(addr, t_miss, false);
                 self.l1d_mshr.allocate(addr, ready);
@@ -283,7 +392,9 @@ mod tests {
     fn warm_inst_access_hits_l1() {
         let mut h = hier();
         let first = h.access_inst(Addr::new(0x8000), 0, false).unwrap();
-        let again = h.access_inst(Addr::new(0x8000), first.ready + 1, false).unwrap();
+        let again = h
+            .access_inst(Addr::new(0x8000), first.ready + 1, false)
+            .unwrap();
         assert_eq!(again.level, HitLevel::L1);
         assert_eq!(again.ready, first.ready + 1 + 1 + 4, "xlat + L1I latency");
     }
@@ -294,10 +405,14 @@ mod tests {
         // Fill far more lines than L1I capacity (512 lines), same L2 set
         // pressure is fine (L2 has 20 ways × 1024 sets).
         for i in 0..2048u64 {
-            let _ = h.access_inst(Addr::new(0x10_0000 + i * 64), i * 1000, false).unwrap();
+            let _ = h
+                .access_inst(Addr::new(0x10_0000 + i * 64), i * 1000, false)
+                .unwrap();
         }
         // Re-access line 0: gone from L1I but present in L2.
-        let a = h.access_inst(Addr::new(0x10_0000), 10_000_000, false).unwrap();
+        let a = h
+            .access_inst(Addr::new(0x10_0000), 10_000_000, false)
+            .unwrap();
         assert_eq!(a.level, HitLevel::L2);
     }
 
@@ -308,7 +423,11 @@ mod tests {
         // Second access 2 cycles later: line is in flight; ready must not
         // exceed the first fill by more than the hit latency.
         let b = h.access_inst(Addr::new(0x9000), 2, false).unwrap();
-        assert_eq!(b.level, HitLevel::L1, "in-flight line counts as L1 presence");
+        assert_eq!(
+            b.level,
+            HitLevel::L1,
+            "in-flight line counts as L1 presence"
+        );
         assert!(b.ready <= a.ready + 8, "{} vs {}", b.ready, a.ready);
     }
 
@@ -316,7 +435,10 @@ mod tests {
     fn data_and_inst_paths_are_separate_l1s() {
         let mut h = hier();
         let _ = h.access_data(Addr::new(0x7000), 0, false).unwrap();
-        assert!(!h.probe_l1i(Addr::new(0x7000)), "data fill must not enter L1I");
+        assert!(
+            !h.probe_l1i(Addr::new(0x7000)),
+            "data fill must not enter L1I"
+        );
         let i = h.access_inst(Addr::new(0x7000), 1_000_000, false).unwrap();
         assert_eq!(i.level, HitLevel::L2, "but it is in the shared L2");
     }
@@ -349,6 +471,25 @@ mod tests {
         assert!(!h.probe_l1i(Addr::new(0xb000)));
         let _ = h.access_inst(Addr::new(0xb000), 0, false).unwrap();
         assert!(h.probe_l1i(Addr::new(0xb000)));
+    }
+
+    #[test]
+    fn telemetry_counts_misses_and_stalls() {
+        let t = Telemetry::with_trace("mem", 32);
+        let mut cfg = HierarchyConfig::alder_lake();
+        cfg.l1i_mshr = 1;
+        let mut h = Hierarchy::new(&cfg);
+        h.attach_telemetry(&t);
+        let _ = h.access_inst(Addr::new(0x0000), 0, false).unwrap();
+        assert!(
+            h.access_inst(Addr::new(0x1000), 0, false).is_err(),
+            "MSHR of 1 is full"
+        );
+        let snap = t.registry.snapshot();
+        assert_eq!(snap.counters["mem.l1i.demand_misses"], 1);
+        assert_eq!(snap.counters["mem.l1i.mshr_full_stalls"], 1);
+        assert_eq!(snap.histograms["mem.l1i.mshr_occupancy"].count, 2);
+        assert!(t.tracer.events().iter().any(|e| e.name == "mshr_full"));
     }
 
     #[test]

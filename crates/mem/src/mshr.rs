@@ -21,7 +21,10 @@ impl Mshr {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
-        Mshr { capacity, entries: Vec::with_capacity(capacity) }
+        Mshr {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// Retires entries whose fill completed at or before `now`.
@@ -32,7 +35,10 @@ impl Mshr {
     /// If the line is already outstanding, returns its completion cycle.
     pub fn pending(&self, addr: Addr) -> Option<u64> {
         let line = addr.raw() >> 6;
-        self.entries.iter().find(|&&(l, _)| l == line).map(|&(_, r)| r)
+        self.entries
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, r)| r)
     }
 
     /// Allocates an entry completing at `ready`. Returns `false` (and

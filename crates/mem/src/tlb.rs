@@ -84,7 +84,12 @@ mod tests {
     use super::*;
 
     fn tlb() -> Tlb {
-        Tlb::new(&TlbConfig { name: "itlb", entries: 8, ways: 2, latency: 1 })
+        Tlb::new(&TlbConfig {
+            name: "itlb",
+            entries: 8,
+            ways: 2,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -101,12 +106,20 @@ mod tests {
         let mut t = tlb();
         t.fill(Addr::new(0x40_0000));
         assert!(t.lookup(Addr::new(0x40_0fff), 0).is_some());
-        assert!(t.lookup(Addr::new(0x40_1000), 0).is_none(), "next page misses");
+        assert!(
+            t.lookup(Addr::new(0x40_1000), 0).is_none(),
+            "next page misses"
+        );
     }
 
     #[test]
     fn capacity_evicts() {
-        let mut t = Tlb::new(&TlbConfig { name: "t", entries: 2, ways: 2, latency: 1 });
+        let mut t = Tlb::new(&TlbConfig {
+            name: "t",
+            entries: 2,
+            ways: 2,
+            latency: 1,
+        });
         for p in 0..3u64 {
             t.fill(Addr::new(p << 12));
         }

@@ -7,7 +7,12 @@ use sim_isa::Addr;
 use ucp_mem::{CacheConfig, Hierarchy, HierarchyConfig, Mshr, SetAssocCache};
 
 fn small_cache() -> SetAssocCache {
-    SetAssocCache::new(CacheConfig { name: "p", sets: 4, ways: 2, latency: 3 })
+    SetAssocCache::new(CacheConfig {
+        name: "p",
+        sets: 4,
+        ways: 2,
+        latency: 3,
+    })
 }
 
 proptest! {

@@ -13,9 +13,10 @@
 //! The original is one of the largest IPC1 entries (~125 KB); the tables
 //! here are sized to match that budget.
 
-use crate::InstPrefetcher;
+use crate::{InstPrefetcher, PrefetchTelemetry};
 use sim_isa::Addr;
 use std::collections::VecDeque;
+use ucp_telemetry::Telemetry;
 
 const LONG_DIST: usize = 8;
 const SHORT_DIST: usize = 2;
@@ -42,6 +43,7 @@ pub struct DJolt {
     sig_hist: VecDeque<u64>,
     sig: u64,
     pending: Vec<Addr>,
+    tele: PrefetchTelemetry,
 }
 
 impl DJolt {
@@ -55,13 +57,17 @@ impl DJolt {
             sig_hist: VecDeque::with_capacity(32),
             sig: 0,
             pending: Vec::new(),
+            tele: PrefetchTelemetry::default(),
         }
     }
 
     #[inline]
     fn slot(table_bits: u32, key: u64) -> (usize, u16) {
         let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        (((h >> 20) as usize) & ((1 << table_bits) - 1), ((h >> 48) & 0x3ff) as u16)
+        (
+            ((h >> 20) as usize) & ((1 << table_bits) - 1),
+            ((h >> 48) & 0x3ff) as u16,
+        )
     }
 }
 
@@ -92,16 +98,28 @@ impl InstPrefetcher for DJolt {
         if self.sig_hist.len() >= LONG_DIST {
             let old_sig = self.sig_hist[self.sig_hist.len() - LONG_DIST];
             let (i, t) = Self::slot(14, old_sig);
-            self.long[i] = Entry { tag: t, target: line, valid: true };
+            self.long[i] = Entry {
+                tag: t,
+                target: line,
+                valid: true,
+            };
         }
         if self.sig_hist.len() >= SHORT_DIST {
             let old_sig = self.sig_hist[self.sig_hist.len() - SHORT_DIST];
             let (i, t) = Self::slot(13, old_sig);
-            self.short[i] = Entry { tag: t, target: line, valid: true };
+            self.short[i] = Entry {
+                tag: t,
+                target: line,
+                valid: true,
+            };
         }
         if let Some(&prev) = self.miss_hist.back() {
             let (i, t) = Self::slot(12, prev);
-            self.next_miss[i] = Entry { tag: t, target: line, valid: true };
+            self.next_miss[i] = Entry {
+                tag: t,
+                target: line,
+                valid: true,
+            };
         }
 
         // Advance the signature: a fold of the last 8 miss lines, so the
@@ -131,11 +149,17 @@ impl InstPrefetcher for DJolt {
         }
         let (inm, tnm) = Self::slot(12, line);
         if self.next_miss[inm].valid && self.next_miss[inm].tag == tnm {
-            self.pending.push(Addr::new(self.next_miss[inm].target << 6));
+            self.pending
+                .push(Addr::new(self.next_miss[inm].target << 6));
         }
     }
 
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tele.attach(telemetry);
+    }
+
     fn drain(&mut self, out: &mut Vec<Addr>) {
+        self.tele.on_drain(self.name(), &self.pending);
         out.append(&mut self.pending);
     }
 }
@@ -157,7 +181,9 @@ mod tests {
     #[test]
     fn learns_recurring_miss_sequences() {
         let mut p = DJolt::new();
-        let chain: Vec<Addr> = (0..12).map(|i| Addr::new(0x40_0000 + i * 0x2_0000)).collect();
+        let chain: Vec<Addr> = (0..12)
+            .map(|i| Addr::new(0x40_0000 + i * 0x2_0000))
+            .collect();
         run_chain(&mut p, &chain, 4);
         // Replay the prefix; expect predictions covering later chain lines.
         let mut predicted = Vec::new();
@@ -169,7 +195,10 @@ mod tests {
             .iter()
             .filter(|a| predicted.contains(&a.line()))
             .count();
-        assert!(hits >= 2, "must predict distant chain members, got {hits} ({predicted:?})");
+        assert!(
+            hits >= 2,
+            "must predict distant chain members, got {hits} ({predicted:?})"
+        );
     }
 
     #[test]

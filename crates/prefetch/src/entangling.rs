@@ -12,9 +12,10 @@
 //! pipeline redirect is discarded rather than polluting the entangling
 //! table.
 
-use crate::InstPrefetcher;
+use crate::{InstPrefetcher, PrefetchTelemetry};
 use sim_isa::Addr;
 use std::collections::VecDeque;
+use ucp_telemetry::Telemetry;
 
 /// How many accesses back the entangled source is chosen (stands in for
 /// "miss latency expressed in fetched lines").
@@ -43,6 +44,7 @@ pub struct Entangling {
     /// considered architecturally confirmed.
     ticks: u64,
     pending: Vec<Addr>,
+    tele: PrefetchTelemetry,
 }
 
 impl Entangling {
@@ -59,13 +61,17 @@ impl Entangling {
             speculative_training: Vec::new(),
             ticks: 0,
             pending: Vec::new(),
+            tele: PrefetchTelemetry::default(),
         }
     }
 
     #[inline]
     fn slot(&self, line: u64) -> (usize, u16) {
         let h = line.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        (((h >> 16) as usize) & ((1 << self.log_entries) - 1), ((h >> 50) & 0x3ff) as u16)
+        (
+            ((h >> 16) as usize) & ((1 << self.log_entries) - 1),
+            ((h >> 50) & 0x3ff) as u16,
+        )
     }
 
     fn entangle(&mut self, src: u64, dst: u64) {
@@ -73,7 +79,11 @@ impl Entangling {
         let max_dests = self.max_dests;
         let e = &mut self.table[i];
         if !e.valid || e.tag != t {
-            *e = EntEntry { tag: t, dests: Vec::with_capacity(max_dests), valid: true };
+            *e = EntEntry {
+                tag: t,
+                dests: Vec::with_capacity(max_dests),
+                valid: true,
+            };
         }
         if e.dests.contains(&dst) {
             return;
@@ -148,7 +158,12 @@ impl InstPrefetcher for Entangling {
         }
     }
 
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tele.attach(telemetry);
+    }
+
     fn drain(&mut self, out: &mut Vec<Addr>) {
+        self.tele.on_drain(self.name(), &self.pending);
         out.append(&mut self.pending);
         if self.plus_plus {
             self.ticks += 1;

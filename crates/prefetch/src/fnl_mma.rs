@@ -12,9 +12,10 @@
 //!
 //! The `++` variant doubles both tables and runs MMA two distances deep.
 
-use crate::InstPrefetcher;
+use crate::{InstPrefetcher, PrefetchTelemetry};
 use sim_isa::Addr;
 use std::collections::VecDeque;
+use ucp_telemetry::Telemetry;
 
 const FOOTPRINT_LINES: u64 = 8;
 
@@ -47,6 +48,7 @@ pub struct FnlMma {
     miss_hist: VecDeque<u64>,
     pending: Vec<Addr>,
     mma_dist: usize,
+    tele: PrefetchTelemetry,
 }
 
 impl std::fmt::Debug for FnlEntry {
@@ -72,24 +74,35 @@ impl FnlMma {
             log_mma,
             fnl: vec![FnlEntry::default(); 1 << log_fnl],
             mma: vec![MmaEntry::default(); 1 << log_mma],
-            mma2: if plus_plus { vec![MmaEntry::default(); 1 << log_mma] } else { Vec::new() },
+            mma2: if plus_plus {
+                vec![MmaEntry::default(); 1 << log_mma]
+            } else {
+                Vec::new()
+            },
             recent: VecDeque::with_capacity(32),
             miss_hist: VecDeque::with_capacity(32),
             pending: Vec::new(),
             mma_dist: if plus_plus { 6 } else { 4 },
+            tele: PrefetchTelemetry::default(),
         }
     }
 
     #[inline]
     fn fnl_slot(&self, line: u64) -> (usize, u16) {
         let h = line ^ (line >> self.log_fnl as u64);
-        ((h as usize) & ((1 << self.log_fnl) - 1), ((line >> 7) & 0x3ff) as u16)
+        (
+            (h as usize) & ((1 << self.log_fnl) - 1),
+            ((line >> 7) & 0x3ff) as u16,
+        )
     }
 
     #[inline]
     fn mma_slot(&self, line: u64) -> (usize, u16) {
         let h = line ^ (line >> (self.log_mma as u64 + 2));
-        ((h as usize) & ((1 << self.log_mma) - 1), ((line >> 9) & 0x3ff) as u16)
+        (
+            (h as usize) & ((1 << self.log_mma) - 1),
+            ((line >> 9) & 0x3ff) as u16,
+        )
     }
 
     fn train_footprint(&mut self, line: u64) {
@@ -100,7 +113,11 @@ impl FnlMma {
                 let (idx, tag) = self.fnl_slot(prev);
                 let e = &mut self.fnl[idx];
                 if !e.valid || e.tag != tag {
-                    *e = FnlEntry { tag, footprint: 0, valid: true };
+                    *e = FnlEntry {
+                        tag,
+                        footprint: 0,
+                        valid: true,
+                    };
                 }
                 e.footprint |= 1 << (line - prev - 1);
             }
@@ -149,12 +166,20 @@ impl InstPrefetcher for FnlMma {
             if self.miss_hist.len() >= self.mma_dist {
                 let src = self.miss_hist[self.miss_hist.len() - self.mma_dist];
                 let (i, t) = self.mma_slot(src);
-                self.mma[i] = MmaEntry { tag: t, target: line, valid: true };
+                self.mma[i] = MmaEntry {
+                    tag: t,
+                    target: line,
+                    valid: true,
+                };
             }
             if self.plus_plus && self.miss_hist.len() >= self.mma_dist * 2 {
                 let src = self.miss_hist[self.miss_hist.len() - self.mma_dist * 2];
                 let (i, t) = self.mma_slot(src);
-                self.mma2[i] = MmaEntry { tag: t, target: line, valid: true };
+                self.mma2[i] = MmaEntry {
+                    tag: t,
+                    target: line,
+                    valid: true,
+                };
             }
             self.miss_hist.push_back(line);
             if self.miss_hist.len() > 32 {
@@ -175,7 +200,12 @@ impl InstPrefetcher for FnlMma {
         }
     }
 
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tele.attach(telemetry);
+    }
+
     fn drain(&mut self, out: &mut Vec<Addr>) {
+        self.tele.on_drain(self.name(), &self.pending);
         out.append(&mut self.pending);
     }
 }
@@ -211,7 +241,9 @@ mod tests {
     fn mma_jumps_ahead_on_miss_chain() {
         let mut p = FnlMma::new(false);
         // A fixed miss chain of 6 widely separated lines, repeated.
-        let chain: Vec<Addr> = (0..6).map(|i| Addr::new(0x20_0000 + i * 0x1_0000)).collect();
+        let chain: Vec<Addr> = (0..6)
+            .map(|i| Addr::new(0x20_0000 + i * 0x1_0000))
+            .collect();
         for _ in 0..4 {
             for &a in &chain {
                 p.on_access(a, false);

@@ -38,6 +38,7 @@ pub use fnl_mma::FnlMma;
 pub use mrc::Mrc;
 
 use sim_isa::Addr;
+use ucp_telemetry::{Category, Counter, Telemetry, Tracer};
 
 /// A standalone L1I prefetcher.
 ///
@@ -58,8 +59,40 @@ pub trait InstPrefetcher: Send + std::fmt::Debug {
     /// prefetchers (EP++) discard not-yet-committed training.
     fn on_redirect(&mut self) {}
 
+    /// Binds `prefetch.*` counters and the `Prefetch` trace category.
+    /// Stateless prefetchers keep the default no-op.
+    fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}
+
     /// Moves pending prefetch candidates (line addresses) into `out`.
     fn drain(&mut self, out: &mut Vec<Addr>);
+}
+
+/// Telemetry handles shared by the prefetcher implementations: a counter
+/// of generated candidates plus trace events on every non-empty drain.
+/// Detached (unobservable, still cheap) until [`PrefetchTelemetry::attach`].
+#[derive(Clone, Debug, Default)]
+pub struct PrefetchTelemetry {
+    tracer: Tracer,
+    candidates: Counter,
+}
+
+impl PrefetchTelemetry {
+    /// Rebinds the handles to `t`'s registry and tracer.
+    pub fn attach(&mut self, t: &Telemetry) {
+        self.tracer = t.tracer.clone();
+        self.candidates = t.registry.counter("prefetch.candidates");
+    }
+
+    /// Accounts one drain of `lines` produced by prefetcher `name`.
+    pub fn on_drain(&self, name: &'static str, lines: &[Addr]) {
+        if lines.is_empty() {
+            return;
+        }
+        self.candidates.add(lines.len() as u64);
+        self.tracer.emit(Category::Prefetch, "candidates", || {
+            format!("src={name} n={} first={:#x}", lines.len(), lines[0].raw())
+        });
+    }
 }
 
 /// The trivial sequential prefetcher (fetches the next `n` lines on every
@@ -69,12 +102,17 @@ pub trait InstPrefetcher: Send + std::fmt::Debug {
 pub struct NextLine {
     degree: u64,
     pending: Vec<Addr>,
+    tele: PrefetchTelemetry,
 }
 
 impl NextLine {
     /// Creates a next-`degree`-lines prefetcher.
     pub fn new(degree: u64) -> Self {
-        NextLine { degree, pending: Vec::new() }
+        NextLine {
+            degree,
+            pending: Vec::new(),
+            tele: PrefetchTelemetry::default(),
+        }
     }
 }
 
@@ -95,7 +133,12 @@ impl InstPrefetcher for NextLine {
         }
     }
 
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tele.attach(telemetry);
+    }
+
     fn drain(&mut self, out: &mut Vec<Addr>) {
+        self.tele.on_drain("NextLine", &self.pending);
         out.append(&mut self.pending);
     }
 }
@@ -158,6 +201,19 @@ mod tests {
         p.drain(&mut out);
         assert!(out.is_empty());
         assert_eq!(p.storage_bits(), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_drained_candidates() {
+        let t = ucp_telemetry::Telemetry::with_trace("prefetch", 16);
+        let mut p = NextLine::new(2);
+        p.attach_telemetry(&t);
+        p.on_access(Addr::new(0x1000), false);
+        let mut out = Vec::new();
+        p.drain(&mut out);
+        p.drain(&mut out); // empty drain must not emit
+        assert_eq!(t.registry.snapshot().counters["prefetch.candidates"], 2);
+        assert_eq!(t.tracer.events().len(), 1);
     }
 
     #[test]

@@ -43,7 +43,12 @@ impl Mrc {
         assert!(entries > 0);
         Mrc {
             slots: vec![
-                MrcSlot { tag: Addr::NULL, valid: false, filled: 0, lru: 0 };
+                MrcSlot {
+                    tag: Addr::NULL,
+                    valid: false,
+                    filled: 0,
+                    lru: 0
+                };
                 entries
             ],
             stamp: 0,
@@ -56,7 +61,9 @@ impl Mrc {
     /// Builds the size (in entries) for a given paper storage point in KB
     /// (16.5 → 64, 33 → 128, 66 → 256, 132 → 512).
     pub fn with_storage_kb(kb: f64) -> Self {
-        let entries = ((kb * 8192.0) / Self::bits_per_entry() as f64).round().max(1.0) as usize;
+        let entries = ((kb * 8192.0) / Self::bits_per_entry() as f64)
+            .round()
+            .max(1.0) as usize;
         Mrc::new(entries)
     }
 
@@ -96,10 +103,20 @@ impl Mrc {
             return;
         }
         let victim = (0..self.slots.len())
-            .min_by_key(|&i| if self.slots[i].valid { self.slots[i].lru } else { 0 })
+            .min_by_key(|&i| {
+                if self.slots[i].valid {
+                    self.slots[i].lru
+                } else {
+                    0
+                }
+            })
             .expect("nonempty");
-        self.slots[victim] =
-            MrcSlot { tag: corrected_target, valid: true, filled: 0, lru: self.stamp };
+        self.slots[victim] = MrcSlot {
+            tag: corrected_target,
+            valid: true,
+            filled: 0,
+            lru: self.stamp,
+        };
         self.filling = Some(victim);
     }
 

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use sim_isa::Addr;
-use ucp_prefetch::{by_name, InstPrefetcher, Mrc};
+use ucp_prefetch::{by_name, Mrc};
 
 const NAMES: [&str; 6] = ["NONE", "FNL-MMA", "FNL-MMA++", "D-JOLT", "EP", "EP++"];
 
@@ -82,12 +82,9 @@ proptest! {
                     m.fill_uop();
                 }
             } else {
-                match m.lookup(target) {
-                    Some(n) => {
-                        prop_assert!(allocated.contains(&target), "hit on never-allocated target");
-                        prop_assert!(n <= ucp_prefetch::mrc::MRC_UOPS_PER_ENTRY as u32);
-                    }
-                    None => {}
+                if let Some(n) = m.lookup(target) {
+                    prop_assert!(allocated.contains(&target), "hit on never-allocated target");
+                    prop_assert!(n <= ucp_prefetch::mrc::MRC_UOPS_PER_ENTRY as u32);
                 }
             }
         }

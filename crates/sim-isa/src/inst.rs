@@ -208,7 +208,10 @@ mod tests {
     #[test]
     fn branch_classes() {
         assert_eq!(
-            InstKind::CondBranch { target: Addr::new(8) }.branch_class(),
+            InstKind::CondBranch {
+                target: Addr::new(8)
+            }
+            .branch_class(),
             Some(BranchClass::CondDirect)
         );
         assert_eq!(InstKind::Return.branch_class(), Some(BranchClass::Return));
@@ -250,13 +253,19 @@ mod tests {
         let pc = Addr::new(0x100);
         let d = DynInst {
             pc,
-            inst: StaticInst::new(InstKind::CondBranch { target: Addr::new(0x200) }),
+            inst: StaticInst::new(InstKind::CondBranch {
+                target: Addr::new(0x200),
+            }),
             next_pc: Addr::new(0x200),
             taken: true,
             mem_addr: Addr::NULL,
         };
         assert!(d.redirects());
-        let seq = DynInst { next_pc: pc.next_inst(), taken: false, ..d };
+        let seq = DynInst {
+            next_pc: pc.next_inst(),
+            taken: false,
+            ..d
+        };
         assert!(!seq.redirects());
     }
 }

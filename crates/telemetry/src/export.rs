@@ -1,0 +1,156 @@
+//! Trace exporters: Chrome trace-event JSON (loads in Perfetto and
+//! `chrome://tracing`) and line-delimited JSON for ad-hoc tooling.
+
+use crate::registry::RegistrySnapshot;
+use crate::tracer::{Category, TraceEvent};
+use serde::{Serialize, Value};
+
+/// Renders events as a Chrome trace-event JSON document.
+///
+/// Every event becomes an instant event (`ph: "i"`) with the simulated
+/// cycle as its microsecond timestamp, one pseudo-thread per category so
+/// Perfetto draws each subsystem on its own row, and the payload under
+/// `args.detail`. Thread-name metadata events label the rows.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut entries: Vec<Value> = Vec::new();
+    for (tid, cat) in Category::ALL.iter().enumerate() {
+        entries.push(Value::Map(vec![
+            ("name".into(), "thread_name".to_value()),
+            ("ph".into(), "M".to_value()),
+            ("pid".into(), 0u64.to_value()),
+            ("tid".into(), (tid as u64).to_value()),
+            (
+                "args".into(),
+                Value::Map(vec![("name".into(), cat.name().to_value())]),
+            ),
+        ]));
+    }
+    for e in events {
+        let tid = Category::ALL
+            .iter()
+            .position(|c| *c == e.category)
+            .unwrap_or(0) as u64;
+        entries.push(Value::Map(vec![
+            ("name".into(), e.name.to_value()),
+            ("cat".into(), e.category.name().to_value()),
+            ("ph".into(), "i".to_value()),
+            ("ts".into(), e.cycle.to_value()),
+            ("pid".into(), 0u64.to_value()),
+            ("tid".into(), tid.to_value()),
+            ("s".into(), "t".to_value()),
+            (
+                "args".into(),
+                Value::Map(vec![("detail".into(), e.payload.to_value())]),
+            ),
+        ]));
+    }
+    let doc = Value::Map(vec![
+        ("traceEvents".into(), Value::Seq(entries)),
+        ("displayTimeUnit".into(), "ms".to_value()),
+        (
+            "otherData".into(),
+            Value::Map(vec![("clock".into(), "simulated cycles as µs".to_value())]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("value trees always serialize")
+}
+
+/// Renders events as JSONL: one `{"cycle","cat","name","detail"}` object
+/// per line, oldest first.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let line = Value::Map(vec![
+            ("cycle".into(), e.cycle.to_value()),
+            ("cat".into(), e.category.name().to_value()),
+            ("name".into(), e.name.to_value()),
+            ("detail".into(), e.payload.to_value()),
+        ]);
+        out.push_str(&serde_json::to_string(&line).expect("value trees always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a registry snapshot as a compact human-readable table,
+/// counters then histogram means — the form suite reports embed.
+pub fn snapshot_table(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (path, v) in &snap.counters {
+        if *v > 0 {
+            out.push_str(&format!("{path:<44} {v:>14}\n"));
+        }
+    }
+    for (path, h) in &snap.histograms {
+        if h.count > 0 {
+            out.push_str(&format!(
+                "{path:<44} {:>14} obs, mean {:.2}\n",
+                h.count,
+                h.mean()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                cycle: 10,
+                category: Category::Ucp,
+                name: "walk_start",
+                payload: "trigger=0x40a0".into(),
+            },
+            TraceEvent {
+                cycle: 12,
+                category: Category::Mem,
+                name: "mshr_full",
+                payload: String::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_all_events() {
+        let text = to_chrome_trace(&sample_events());
+        let doc = serde_json::parse_value(&text).unwrap();
+        let events = serde::value_get(&doc, "traceEvents").unwrap();
+        let Value::Seq(items) = events else {
+            panic!("traceEvents must be an array")
+        };
+        // 6 thread-name metadata records + 2 instant events.
+        assert_eq!(items.len(), 8);
+        let last = items.last().unwrap();
+        assert_eq!(serde::value_get(last, "ph"), Some(&Value::Str("i".into())));
+        assert_eq!(serde::value_get(last, "ts"), Some(&Value::U64(12)));
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_event() {
+        let text = to_jsonl(&sample_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = serde_json::parse_value(lines[0]).unwrap();
+        assert_eq!(
+            serde::value_get(&first, "cat"),
+            Some(&Value::Str("ucp".into()))
+        );
+        assert_eq!(serde::value_get(&first, "cycle"), Some(&Value::U64(10)));
+    }
+
+    #[test]
+    fn snapshot_table_lists_active_instruments_only() {
+        let reg = crate::Registry::default();
+        reg.counter("ucp.walks_started").add(2);
+        reg.counter("ucp.never_touched");
+        reg.histogram("mem.occ").observe(4);
+        let table = snapshot_table(&reg.snapshot());
+        assert!(table.contains("ucp.walks_started"));
+        assert!(table.contains("mem.occ"));
+        assert!(!table.contains("never_touched"));
+    }
+}

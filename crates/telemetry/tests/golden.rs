@@ -1,0 +1,86 @@
+//! Golden-file test for the Chrome/Perfetto exporter: the rendered
+//! document for a fixed event stream must match `tests/golden/` exactly,
+//! so any format drift (key order, timestamps, metadata records) is a
+//! deliberate, reviewed change.
+//!
+//! To regenerate after an intentional format change:
+//! `UCP_UPDATE_GOLDEN=1 cargo test -p ucp-telemetry --test golden`
+
+use ucp_telemetry::{to_chrome_trace, to_jsonl, Category, TraceEvent};
+
+fn fixed_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent {
+            cycle: 100,
+            category: Category::Ucp,
+            name: "walk_start",
+            payload: "trigger=0x40a0 h2p=1".into(),
+        },
+        TraceEvent {
+            cycle: 103,
+            category: Category::Ucp,
+            name: "line_prefetch",
+            payload: "line=0x40c0".into(),
+        },
+        TraceEvent {
+            cycle: 117,
+            category: Category::Mem,
+            name: "mshr_full",
+            payload: "level=l1i".into(),
+        },
+        TraceEvent {
+            cycle: 150,
+            category: Category::Pipeline,
+            name: "flush",
+            payload: "cause=cond_mispredict".into(),
+        },
+    ]
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("UCP_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, rendered).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path}: {e}"));
+    assert_eq!(rendered, expected, "{name} drifted from its golden copy");
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    check_golden("perfetto.json", &to_chrome_trace(&fixed_events()));
+}
+
+#[test]
+fn jsonl_matches_golden() {
+    check_golden("trace.jsonl", &to_jsonl(&fixed_events()));
+}
+
+#[test]
+fn golden_chrome_trace_is_perfetto_loadable_shape() {
+    // Independent of the byte-exact check: the document must parse and
+    // carry the invariants Perfetto relies on (top-level traceEvents
+    // array; every record has ph/pid/tid; instant events have ts).
+    let doc = serde_json::parse_value(&to_chrome_trace(&fixed_events())).unwrap();
+    let events = serde::value_get(&doc, "traceEvents").expect("traceEvents key");
+    let serde::Value::Seq(items) = events else {
+        panic!("traceEvents must be an array")
+    };
+    assert!(!items.is_empty());
+    for item in items {
+        for key in ["ph", "pid", "tid", "name"] {
+            assert!(
+                serde::value_get(item, key).is_some(),
+                "record missing {key}"
+            );
+        }
+        if serde::value_get(item, "ph") == Some(&serde::Value::Str("i".into())) {
+            assert!(matches!(
+                serde::value_get(item, "ts"),
+                Some(serde::Value::U64(_))
+            ));
+        }
+    }
+}

@@ -197,7 +197,9 @@ mod tests {
 
     #[test]
     fn mono_indirect_is_constant() {
-        let b = IndirectBehavior::Mono { target: Addr::new(0x40) };
+        let b = IndirectBehavior::Mono {
+            target: Addr::new(0x40),
+        };
         for occ in 0..10 {
             assert_eq!(b.target(occ, 7), Addr::new(0x40));
         }
@@ -227,7 +229,11 @@ mod tests {
 
     #[test]
     fn stride_wraps_in_span() {
-        let m = MemBehavior::Stride { base: 0x1000, stride: 64, span: 256 };
+        let m = MemBehavior::Stride {
+            base: 0x1000,
+            stride: 64,
+            span: 256,
+        };
         for occ in 0..20 {
             let a = m.addr(occ, 0).raw();
             assert!((0x1000..0x1100).contains(&a));
@@ -240,7 +246,10 @@ mod tests {
 
     #[test]
     fn random_in_stays_in_region() {
-        let m = MemBehavior::RandomIn { base: 0x20_0000, span: 4096 };
+        let m = MemBehavior::RandomIn {
+            base: 0x20_0000,
+            span: 4096,
+        };
         for occ in 0..100 {
             let a = m.addr(occ, 5).raw();
             assert!((0x20_0000..0x20_1000).contains(&a));

@@ -46,7 +46,11 @@ impl CondMix {
 
 impl Default for CondMix {
     fn default() -> Self {
-        CondMix { easy_milli: 600, pattern_milli: 150, correlated_milli: 100 }
+        CondMix {
+            easy_milli: 600,
+            pattern_milli: 150,
+            correlated_milli: 100,
+        }
     }
 }
 
@@ -184,13 +188,23 @@ enum PInst {
     Load(Reg, MemBehavior),
     Store(MemBehavior, [Option<Reg>; 2]),
     /// Conditional branch to a function-local instruction index.
-    CondLocal { target: usize, behavior: PCond },
+    CondLocal {
+        target: usize,
+        behavior: PCond,
+    },
     /// Unconditional jump to a function-local instruction index.
-    JumpLocal { target: usize },
+    JumpLocal {
+        target: usize,
+    },
     /// Direct call to a function id.
-    CallFunc { callee: usize },
+    CallFunc {
+        callee: usize,
+    },
     /// Indirect call to one of several function ids.
-    IndirectCallFuncs { callees: Vec<usize>, scramble: bool },
+    IndirectCallFuncs {
+        callees: Vec<usize>,
+        scramble: bool,
+    },
     Return,
 }
 
@@ -199,7 +213,11 @@ enum PInst {
 enum PCond {
     Direct(CondBehavior),
     /// Correlated with the conditional branch at the given *local* index.
-    CorrelatedLocal { other_local: usize, invert: bool, noise_milli: u16 },
+    CorrelatedLocal {
+        other_local: usize,
+        invert: bool,
+        noise_milli: u16,
+    },
 }
 
 struct Generator<'s> {
@@ -295,22 +313,28 @@ impl<'s> Generator<'s> {
                         .with_srcs(&[self.recent[0]]);
                         let cond = match behavior {
                             PCond::Direct(c) => c.clone(),
-                            PCond::CorrelatedLocal { other_local, invert, noise_milli } => {
-                                CondBehavior::Correlated {
-                                    other: (fstart + other_local) as u32,
-                                    invert: *invert,
-                                    noise_milli: *noise_milli,
-                                }
-                            }
+                            PCond::CorrelatedLocal {
+                                other_local,
+                                invert,
+                                noise_milli,
+                            } => CondBehavior::Correlated {
+                                other: (fstart + other_local) as u32,
+                                invert: *invert,
+                                noise_milli: *noise_milli,
+                            },
                         };
                         (inst, Behavior::Cond(cond))
                     }
                     PInst::JumpLocal { target } => (
-                        StaticInst::new(InstKind::Jump { target: addr_of(fstart + target) }),
+                        StaticInst::new(InstKind::Jump {
+                            target: addr_of(fstart + target),
+                        }),
                         Behavior::None,
                     ),
                     PInst::CallFunc { callee } => (
-                        StaticInst::new(InstKind::Call { target: addr_of(starts[*callee]) }),
+                        StaticInst::new(InstKind::Call {
+                            target: addr_of(starts[*callee]),
+                        }),
                         Behavior::None,
                     ),
                     PInst::IndirectCallFuncs { callees, scramble } => {
@@ -323,7 +347,10 @@ impl<'s> Generator<'s> {
                         } else {
                             IndirectBehavior::Rotate { targets }
                         };
-                        (StaticInst::new(InstKind::IndirectCall), Behavior::Indirect(beh))
+                        (
+                            StaticInst::new(InstKind::IndirectCall),
+                            Behavior::Indirect(beh),
+                        )
                     }
                     PInst::Return => (StaticInst::new(InstKind::Return), Behavior::None),
                 };
@@ -389,9 +416,15 @@ impl<'s> Generator<'s> {
             let base = DATA_BASE + u64::from(self.rng.gen_range(0..8u32)) * u64::from(span);
             MemBehavior::RandomIn { base, span }
         } else {
-            let stride = *[8u32, 8, 16, 64].get(self.rng.gen_range(0..4)).unwrap_or(&8);
+            let stride = *[8u32, 8, 16, 64]
+                .get(self.rng.gen_range(0..4))
+                .unwrap_or(&8);
             let base = DATA_BASE + u64::from(self.rng.gen_range(0..64u32)) * 4096;
-            MemBehavior::Stride { base, stride, span: span.min(64 * 1024) }
+            MemBehavior::Stride {
+                base,
+                stride,
+                span: span.min(64 * 1024),
+            }
         }
     }
 
@@ -426,7 +459,9 @@ impl<'s> Generator<'s> {
             } else {
                 1000 - self.spec.easy_bias_milli
             };
-            PCond::Direct(CondBehavior::Biased { taken_prob_milli: p })
+            PCond::Direct(CondBehavior::Biased {
+                taken_prob_milli: p,
+            })
         } else if r < mix.easy_milli + mix.pattern_milli {
             let len = self.rng.gen_range(2..=6u8);
             let bits = self.rng.gen::<u64>() & ((1u64 << len) - 1);
@@ -442,8 +477,14 @@ impl<'s> Generator<'s> {
             }
         } else {
             let (lo, hi) = self.spec.hard_prob_range;
-            let p = if lo >= hi { lo } else { self.rng.gen_range(lo..=hi) };
-            PCond::Direct(CondBehavior::Biased { taken_prob_milli: p })
+            let p = if lo >= hi {
+                lo
+            } else {
+                self.rng.gen_range(lo..=hi)
+            };
+            PCond::Direct(CondBehavior::Biased {
+                taken_prob_milli: p,
+            })
         }
     }
 
@@ -451,9 +492,14 @@ impl<'s> Generator<'s> {
     /// call-graph level (occasionally two levels down). Leaf-level
     /// functions make no calls, so every dynamic call tree is bounded.
     fn pick_callee(&mut self, caller: usize) -> Option<usize> {
-        let level = if caller == 0 { 0 } else { self.level_of(caller)? + 1 };
+        let level = if caller == 0 {
+            0
+        } else {
+            self.level_of(caller)? + 1
+        };
         let skip = usize::from(self.rng.gen_bool(0.2));
-        self.sample_in(level + skip).or_else(|| self.sample_in(level))
+        self.sample_in(level + skip)
+            .or_else(|| self.sample_in(level))
     }
 
     /// Zipf-ish popularity sample over functions `1..n` for driver call
@@ -468,7 +514,10 @@ impl<'s> Generator<'s> {
                 let cand = 1 + self.rng.gen_range(0..(n - 1));
                 let w_best = 1.0 / (best as f64).powf(theta);
                 let w_cand = 1.0 / (cand as f64).powf(theta);
-                if self.rng.gen_bool((w_cand / (w_cand + w_best)).clamp(0.0, 1.0)) {
+                if self
+                    .rng
+                    .gen_bool((w_cand / (w_cand + w_best)).clamp(0.0, 1.0))
+                {
                     best = cand;
                 }
             }
@@ -558,7 +607,10 @@ impl<'s> Generator<'s> {
         let behavior = self.cond_behavior(prior);
         let branch_pos = out.len();
         // Placeholder; patched below.
-        out.push(PInst::CondLocal { target: 0, behavior });
+        out.push(PInst::CondLocal {
+            target: 0,
+            behavior,
+        });
         let then_len = self.range(self.spec.block_len);
         self.emit_block(out, then_len);
         let with_else = self.rng.gen_bool(0.5);
@@ -584,7 +636,6 @@ impl<'s> Generator<'s> {
         // Warmup straight-line prologue.
         self.emit_block(&mut out, 4);
         let loop_top = out.len();
-        let n = self.spec.num_funcs;
         for _ in 0..self.spec.driver_sites.max(1) {
             // Interleave a little control flow between call sites.
             if self.roll(self.spec.if_milli / 2) {
@@ -609,9 +660,12 @@ impl<'s> Generator<'s> {
                     }
                 }
                 if callees.len() < 2 {
-                    callees.push(1.min(n - 1).max(1));
+                    callees.push(1);
                 }
-                out.push(PInst::IndirectCallFuncs { callees, scramble: true });
+                out.push(PInst::IndirectCallFuncs {
+                    callees,
+                    scramble: true,
+                });
             } else {
                 let callee = self.pick_driver_callee();
                 if self.roll(self.spec.indirect_call_milli) {
@@ -622,7 +676,10 @@ impl<'s> Generator<'s> {
                             callees.push(c);
                         }
                     }
-                    out.push(PInst::IndirectCallFuncs { callees, scramble: false });
+                    out.push(PInst::IndirectCallFuncs {
+                        callees,
+                        scramble: false,
+                    });
                 } else {
                     out.push(PInst::CallFunc { callee });
                 }
@@ -714,14 +771,22 @@ mod tests {
 
     #[test]
     fn cond_mix_hard_share() {
-        let m = CondMix { easy_milli: 700, pattern_milli: 100, correlated_milli: 100 };
+        let m = CondMix {
+            easy_milli: 700,
+            pattern_milli: 100,
+            correlated_milli: 100,
+        };
         assert_eq!(m.hard_milli(), 100);
     }
 
     #[test]
     #[should_panic(expected = "exceed 1000")]
     fn cond_mix_overflow_panics() {
-        let m = CondMix { easy_milli: 900, pattern_milli: 200, correlated_milli: 0 };
+        let m = CondMix {
+            easy_milli: 900,
+            pattern_milli: 200,
+            correlated_milli: 0,
+        };
         let _ = m.hard_milli();
     }
 
@@ -741,6 +806,10 @@ mod tests {
         // The prologue runs once, but the loop top is revisited many times;
         // entry itself is only hit once. Check the driver region is re-entered.
         let _ = revisits;
-        assert!(o.call_depth() < 64, "call depth runaway: {}", o.call_depth());
+        assert!(
+            o.call_depth() < 64,
+            "call depth runaway: {}",
+            o.call_depth()
+        );
     }
 }

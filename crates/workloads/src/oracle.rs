@@ -114,14 +114,19 @@ impl<'p> Oracle<'p> {
                 let pos = (occ % u64::from(len.clamp(1, 64))) as u32;
                 (bits >> pos) & 1 == 1
             }
-            CondBehavior::Correlated { other, invert, noise_milli } => {
+            CondBehavior::Correlated {
+                other,
+                invert,
+                noise_milli,
+            } => {
                 let base = self
                     .last_outcome
                     .get(other as usize)
                     .copied()
                     .unwrap_or(false)
                     ^ invert;
-                if noise_milli > 0 && hash_event(self.seed ^ 0xC0FE ^ ((idx as u64) << 20) ^ occ, noise_milli)
+                if noise_milli > 0
+                    && hash_event(self.seed ^ 0xC0FE ^ ((idx as u64) << 20) ^ occ, noise_milli)
                 {
                     !base
                 } else {
@@ -164,7 +169,9 @@ impl<'p> Oracle<'p> {
                     Behavior::Cond(c) => c.clone(),
                     // A conditional branch without a model defaults to
                     // strongly not-taken.
-                    _ => CondBehavior::Biased { taken_prob_milli: 20 },
+                    _ => CondBehavior::Biased {
+                        taken_prob_milli: 20,
+                    },
                 };
                 taken = self.eval_cond(idx, occ, &b);
                 self.last_outcome[idx] = taken;
@@ -203,7 +210,13 @@ impl<'p> Oracle<'p> {
 
         self.pc = next_pc;
         self.retired += 1;
-        DynInst { pc, inst, next_pc, taken, mem_addr }
+        DynInst {
+            pc,
+            inst,
+            next_pc,
+            taken,
+            mem_addr,
+        }
     }
 
     fn push_return(&mut self, ra: Addr) {
@@ -352,7 +365,10 @@ mod tests {
             StaticInst::new(InstKind::Jump { target: addr(0) }),
         ];
         let behaviors = vec![
-            Behavior::Cond(CondBehavior::Pattern { bits: 0b0110, len: 4 }),
+            Behavior::Cond(CondBehavior::Pattern {
+                bits: 0b0110,
+                len: 4,
+            }),
             Behavior::None,
             Behavior::None,
         ];
@@ -378,8 +394,14 @@ mod tests {
             StaticInst::new(InstKind::Jump { target: addr(0) }),
         ];
         let behaviors = vec![
-            Behavior::Cond(CondBehavior::Biased { taken_prob_milli: 500 }),
-            Behavior::Cond(CondBehavior::Correlated { other: 0, invert: false, noise_milli: 0 }),
+            Behavior::Cond(CondBehavior::Biased {
+                taken_prob_milli: 500,
+            }),
+            Behavior::Cond(CondBehavior::Correlated {
+                other: 0,
+                invert: false,
+                noise_milli: 0,
+            }),
             Behavior::None,
         ];
         let p = Program::new(insts, behaviors, addr(0));

@@ -27,9 +27,18 @@ impl Program {
     /// Panics if the two vectors differ in length, if the program is empty,
     /// or if `entry` is out of range.
     pub fn new(insts: Vec<StaticInst>, behaviors: Vec<Behavior>, entry: Addr) -> Self {
-        assert_eq!(insts.len(), behaviors.len(), "behaviour table length mismatch");
+        assert_eq!(
+            insts.len(),
+            behaviors.len(),
+            "behaviour table length mismatch"
+        );
         assert!(!insts.is_empty(), "empty program");
-        let p = Program { base: Addr::new(PROGRAM_BASE), insts, behaviors, entry };
+        let p = Program {
+            base: Addr::new(PROGRAM_BASE),
+            insts,
+            behaviors,
+            entry,
+        };
         assert!(p.index_of(entry).is_some(), "entry point outside program");
         p
     }
@@ -76,7 +85,7 @@ impl Program {
     pub fn index_of(&self, pc: Addr) -> Option<usize> {
         let raw = pc.raw();
         let base = self.base.raw();
-        if raw < base || raw % INST_BYTES != 0 {
+        if raw < base || !raw.is_multiple_of(INST_BYTES) {
             return None;
         }
         let idx = ((raw - base) / INST_BYTES) as usize;
@@ -154,7 +163,9 @@ mod tests {
     fn tiny() -> Program {
         let insts = vec![
             StaticInst::new(InstKind::Op(ExecClass::Alu)),
-            StaticInst::new(InstKind::Jump { target: Addr::new(PROGRAM_BASE) }),
+            StaticInst::new(InstKind::Jump {
+                target: Addr::new(PROGRAM_BASE),
+            }),
         ];
         let behaviors = vec![Behavior::None, Behavior::None];
         Program::new(insts, behaviors, Addr::new(PROGRAM_BASE))
@@ -193,7 +204,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside program")]
     fn validate_rejects_wild_targets() {
-        let insts = vec![StaticInst::new(InstKind::Jump { target: Addr::new(0x10) })];
+        let insts = vec![StaticInst::new(InstKind::Jump {
+            target: Addr::new(0x10),
+        })];
         let p = Program::new(insts, vec![Behavior::None], Addr::new(PROGRAM_BASE));
         p.validate();
     }
@@ -209,6 +222,9 @@ mod tests {
     fn iter_yields_layout_order() {
         let p = tiny();
         let addrs: Vec<_> = p.iter().map(|(a, _)| a).collect();
-        assert_eq!(addrs, vec![Addr::new(PROGRAM_BASE), Addr::new(PROGRAM_BASE + 4)]);
+        assert_eq!(
+            addrs,
+            vec![Addr::new(PROGRAM_BASE), Addr::new(PROGRAM_BASE + 4)]
+        );
     }
 }

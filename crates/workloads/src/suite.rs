@@ -24,7 +24,11 @@ fn base(name: String, category: Category, seed: u64) -> WorkloadSpec {
         if_milli: 420,
         loop_trip: (2, 8),
         variable_trip_milli: 350,
-        cond_mix: CondMix { easy_milli: 700, pattern_milli: 130, correlated_milli: 90 },
+        cond_mix: CondMix {
+            easy_milli: 700,
+            pattern_milli: 130,
+            correlated_milli: 90,
+        },
         hard_prob_range: (250, 750),
         easy_bias_milli: 970,
         driver_sites: 12,
@@ -106,7 +110,11 @@ fn fp(i: usize) -> WorkloadSpec {
     s.loop_milli = 320;
     s.loop_trip = (16, 80);
     s.variable_trip_milli = 60;
-    s.cond_mix = CondMix { easy_milli: 870, pattern_milli: 80, correlated_milli: 30 };
+    s.cond_mix = CondMix {
+        easy_milli: 870,
+        pattern_milli: 80,
+        correlated_milli: 30,
+    };
     s.fp_milli = 450;
     s.dispatch_milli = 80;
     s.dispatch_fanout = (2, 4);
@@ -129,7 +137,11 @@ fn crypto(i: usize) -> WorkloadSpec {
     s.variable_trip_milli = 40;
     s.dispatch_milli = 60;
     s.dispatch_fanout = (2, 3);
-    s.cond_mix = CondMix { easy_milli: 900, pattern_milli: 70, correlated_milli: 10 };
+    s.cond_mix = CondMix {
+        easy_milli: 900,
+        pattern_milli: 70,
+        correlated_milli: 10,
+    };
     s.mul_milli = 180;
     s.mem_milli = 240;
     s.random_mem_milli = 60;

@@ -13,25 +13,35 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
         (0u16..400, 0u16..400, 0u16..200),
         (2u32..6, 6u32..12),
     )
-        .prop_map(|(seed, funcs, (call, loop_m, if_m), dispatch, mix, trips)| {
-            let mut s = WorkloadSpec::tiny("prop", seed);
-            s.num_funcs = funcs.max(2);
-            s.call_milli = call;
-            s.loop_milli = loop_m;
-            s.if_milli = if_m;
-            s.dispatch_milli = dispatch;
-            s.loop_trip = trips;
-            let (a, b, c) = mix;
-            // Keep the mix legal (≤1000 per-mille).
-            let total = a + b + c;
-            let (a, b, c) = if total > 1000 {
-                (a * 1000 / total.max(1), b * 1000 / total.max(1), c * 1000 / total.max(1))
-            } else {
-                (a, b, c)
-            };
-            s.cond_mix = CondMix { easy_milli: a, pattern_milli: b, correlated_milli: c };
-            s
-        })
+        .prop_map(
+            |(seed, funcs, (call, loop_m, if_m), dispatch, mix, trips)| {
+                let mut s = WorkloadSpec::tiny("prop", seed);
+                s.num_funcs = funcs.max(2);
+                s.call_milli = call;
+                s.loop_milli = loop_m;
+                s.if_milli = if_m;
+                s.dispatch_milli = dispatch;
+                s.loop_trip = trips;
+                let (a, b, c) = mix;
+                // Keep the mix legal (≤1000 per-mille).
+                let total = a + b + c;
+                let (a, b, c) = if total > 1000 {
+                    (
+                        a * 1000 / total.max(1),
+                        b * 1000 / total.max(1),
+                        c * 1000 / total.max(1),
+                    )
+                } else {
+                    (a, b, c)
+                };
+                s.cond_mix = CondMix {
+                    easy_milli: a,
+                    pattern_milli: b,
+                    correlated_milli: c,
+                };
+                s
+            },
+        )
 }
 
 proptest! {
@@ -81,6 +91,7 @@ proptest! {
         let mut s = WorkloadSpec::tiny("prop", seed);
         s.cond_mix = CondMix { easy_milli: 1000, pattern_milli: 0, correlated_milli: 0 };
         s.easy_bias_milli = 1000; // easy branches are always-taken or never-taken
+        s.loop_milli = 0; // suppress loop branches, whose exits flip by design
         let p = s.build();
         let mut o = Oracle::new(&p, s.seed);
         use std::collections::HashMap;

@@ -10,9 +10,7 @@
 //! ```
 
 use std::collections::BTreeMap;
-use ucp_sim::bpred::{
-    ConfidenceEstimator, Provider, SclPreset, TageConf, TageScL, UcpConf,
-};
+use ucp_sim::bpred::{ConfidenceEstimator, Provider, SclPreset, TageConf, TageScL, UcpConf};
 use ucp_sim::isa::InstKind;
 use ucp_sim::workloads::{suite, Oracle};
 
@@ -53,7 +51,10 @@ fn main() {
         hist.push(d.taken);
     }
 
-    println!("{} conditional branches predicted on {}\n", branches, spec.name);
+    println!(
+        "{} conditional branches predicted on {}\n",
+        branches, spec.name
+    );
     println!("per-provider miss rates (paper Fig. 6/7):");
     let total_misses: u64 = per_provider.values().map(|v| v.1).sum();
     for (p, (n, m)) in &per_provider {

@@ -31,11 +31,18 @@ fn main() {
     println!("  uop cache hit rate {:.1}%", base.uop_hit_rate_pct());
     println!("  mode switches      {:.2} PKI", base.switch_pki());
     println!("  conditional MPKI   {:.2}", base.cond_mpki());
-    println!("UCP:      IPC {:.3} ({:+.2}%)", ucp.ipc(), (ucp.ipc() / base.ipc() - 1.0) * 100.0);
+    println!(
+        "UCP:      IPC {:.3} ({:+.2}%)",
+        ucp.ipc(),
+        (ucp.ipc() / base.ipc() - 1.0) * 100.0
+    );
     println!("  uop cache hit rate {:.1}%", ucp.uop_hit_rate_pct());
     println!("  alternate paths    {}", ucp.ucp.walks_started);
     println!("  entries prefetched {}", ucp.ucp.entries_inserted);
-    println!("  prefetch accuracy  {:.1}%", ucp.ucp.prefetch_accuracy_pct());
+    println!(
+        "  prefetch accuracy  {:.1}%",
+        ucp.ucp.prefetch_accuracy_pct()
+    );
     println!(
         "  H2P detector       coverage {:.1}%, accuracy {:.1}%",
         ucp.h2p_ucp.coverage_pct(),

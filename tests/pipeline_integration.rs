@@ -33,7 +33,11 @@ fn flat_spec() -> WorkloadSpec {
 fn runs_exactly_the_requested_instructions() {
     let s = Simulator::run_spec(&loopy_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
     // The final cycle may overshoot by at most one commit width.
-    assert!((MEASURE..MEASURE + 16).contains(&s.instructions), "{}", s.instructions);
+    assert!(
+        (MEASURE..MEASURE + 16).contains(&s.instructions),
+        "{}",
+        s.instructions
+    );
     assert!(s.cycles > 0);
 }
 
@@ -57,7 +61,11 @@ fn uop_cache_helps_a_loopy_workload() {
         base.ipc(),
         no_uc.ipc()
     );
-    assert!(base.uop_hit_rate_pct() > 90.0, "loopy code must stream: {}", base.uop_hit_rate_pct());
+    assert!(
+        base.uop_hit_rate_pct() > 90.0,
+        "loopy code must stream: {}",
+        base.uop_hit_rate_pct()
+    );
 }
 
 #[test]
@@ -66,7 +74,12 @@ fn ideal_uop_cache_dominates_real() {
     ideal.uop_cache = UopCacheModel::Ideal;
     let r = Simulator::run_spec(&flat_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
     let i = Simulator::run_spec(&flat_spec(), &ideal, WARMUP, MEASURE);
-    assert!(i.ipc() >= r.ipc() * 0.999, "ideal {} vs real {}", i.ipc(), r.ipc());
+    assert!(
+        i.ipc() >= r.ipc() * 0.999,
+        "ideal {} vs real {}",
+        i.ipc(),
+        r.ipc()
+    );
     assert!((i.uop_hit_rate_pct() - 100.0).abs() < 1e-9);
 }
 
@@ -106,8 +119,16 @@ fn no_uop_cache_never_switches_modes() {
 #[test]
 fn ucp_prefetches_and_entries_get_used() {
     let s = Simulator::run_spec(&flat_spec(), &SimConfig::ucp(), WARMUP, MEASURE);
-    assert!(s.ucp.walks_started > 50, "H2P triggers expected: {}", s.ucp.walks_started);
-    assert!(s.ucp.entries_inserted > 100, "prefetched entries: {}", s.ucp.entries_inserted);
+    assert!(
+        s.ucp.walks_started > 50,
+        "H2P triggers expected: {}",
+        s.ucp.walks_started
+    );
+    assert!(
+        s.ucp.entries_inserted > 100,
+        "prefetched entries: {}",
+        s.ucp.entries_inserted
+    );
     assert!(
         s.ucp.timely_used + s.ucp.late_used > 0,
         "some prefetched entries must be demanded"
@@ -198,7 +219,11 @@ fn huge_spec() -> WorkloadSpec {
 #[test]
 fn standalone_prefetcher_cuts_l1i_misses() {
     let base = Simulator::run_spec(&huge_spec(), &SimConfig::baseline(), WARMUP, MEASURE);
-    assert!(base.l1i_miss_rate_pct() > 3.0, "premise: L1I must thrash, got {}", base.l1i_miss_rate_pct());
+    assert!(
+        base.l1i_miss_rate_pct() > 3.0,
+        "premise: L1I must thrash, got {}",
+        base.l1i_miss_rate_pct()
+    );
     let mut cfg = SimConfig::baseline();
     cfg.prefetcher = PrefetcherKind::Ep;
     let p = Simulator::run_spec(&huge_spec(), &cfg, WARMUP, MEASURE);
@@ -216,7 +241,10 @@ fn mrc_streams_uops_on_mispredictions() {
     let mut cfg = SimConfig::baseline();
     cfg.mrc_entries = Some(256);
     let s = Simulator::run_spec(&flat_spec(), &cfg, WARMUP, MEASURE);
-    assert!(s.mrc_streamed_uops > 0, "the MRC must hit on recurring mispredictions");
+    assert!(
+        s.mrc_streamed_uops > 0,
+        "the MRC must hit on recurring mispredictions"
+    );
 }
 
 #[test]
@@ -225,7 +253,10 @@ fn provider_attribution_covers_all_mispredictions() {
     let misses: u64 = s.provider_totals.values().map(|b| b.misses).sum();
     let preds: u64 = s.provider_totals.values().map(|b| b.preds).sum();
     assert_eq!(misses, s.cond_mispredicts, "every miss must be attributed");
-    assert_eq!(preds, s.cond_branches, "every prediction must be attributed");
+    assert_eq!(
+        preds, s.cond_branches,
+        "every prediction must be attributed"
+    );
 }
 
 #[test]

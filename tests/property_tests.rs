@@ -28,7 +28,11 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
             s.call_milli = call;
             s.loop_milli = loop_m;
             s.if_milli = if_m;
-            s.cond_mix = CondMix { easy_milli: 600, pattern_milli: 100, correlated_milli: 100 };
+            s.cond_mix = CondMix {
+                easy_milli: 600,
+                pattern_milli: 100,
+                correlated_milli: 100,
+            };
             s
         })
 }

@@ -1,0 +1,429 @@
+//! Offline shim for `serde_derive`: generates impls of the value-based
+//! `Serialize`/`Deserialize` traits defined by the vendored `serde` shim
+//! crate (see `crates/shims/serde`).
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! real serde cannot be used. This derive supports exactly the shapes the
+//! workspace uses: non-generic named structs, tuple structs, and enums with
+//! unit / newtype / tuple / struct variants, plus the field attributes
+//! `#[serde(with = "path")]` and `#[serde(default)]`.
+//!
+//! The JSON data model mirrors serde's externally-tagged representation so
+//! cache files and golden traces look like what the real serde would emit.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    with: Option<String>,
+    default: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ----------------------------------------------------------------------
+// Parsing
+// ----------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut is_struct = None;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attribute
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                is_struct = Some(true);
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_struct = Some(false);
+                i += 1;
+                break;
+            }
+            other => panic!("serde shim derive: unexpected token {other}"),
+        }
+    }
+    let is_struct = is_struct.expect("struct or enum keyword");
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported ({name})");
+    }
+    match &toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_struct {
+                (name, Shape::NamedStruct(parse_fields(g.stream())))
+            } else {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && is_struct => {
+            (name, Shape::TupleStruct(count_top_level_fields(g.stream())))
+        }
+        other => panic!("serde shim derive: unsupported body for {name}: {other:?}"),
+    }
+}
+
+/// Parses `#[serde(...)]` options out of one attribute's bracket content.
+fn parse_serde_attr(attr: TokenStream, with: &mut Option<String>, default: &mut bool) {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(g)) = toks.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                if let Some(TokenTree::Literal(l)) = inner.get(j + 2) {
+                    *with = Some(l.to_string().trim_matches('"').to_string());
+                }
+                j += 3;
+            }
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                *default = true;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+}
+
+fn parse_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut with = None;
+        let mut default = false;
+        while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                parse_serde_attr(g.stream(), &mut with, &mut default);
+            }
+            i += 2;
+        }
+        if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got {other}"),
+        };
+        i += 2; // name + ':'
+                // Skip the type: tokens until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push(Field {
+            name,
+            with,
+            default,
+        });
+    }
+    out
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip any discriminant up to the separating comma.
+        while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+/// Counts comma-separated fields of a tuple struct/variant (commas inside
+/// angle brackets belong to type parameters, not field boundaries).
+fn count_top_level_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    let trailing = matches!(toks.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',');
+    commas + 1 - usize::from(trailing)
+}
+
+// ----------------------------------------------------------------------
+// Codegen
+// ----------------------------------------------------------------------
+
+fn field_ser_expr(f: &Field, access: &str) -> String {
+    match &f.with {
+        Some(path) => format!("{path}::to_value({access})"),
+        None => format!("::serde::Serialize::to_value({access})"),
+    }
+}
+
+fn field_de_expr(f: &Field, ty: &str) -> String {
+    let from = match &f.with {
+        Some(path) => format!("{path}::from_value(x)?"),
+        None => "::serde::Deserialize::from_value(x)?".to_string(),
+    };
+    let missing = if f.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return Err(::serde::DeError::missing_field(\"{ty}\", \"{n}\"))",
+            n = f.name
+        )
+    };
+    format!(
+        "{n}: match ::serde::value_get(v, \"{n}\") {{ Some(x) => {from}, None => {missing} }},",
+        n = f.name
+    )
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                let expr = field_ser_expr(f, &format!("&self.{}", f.name));
+                pushes.push_str(&format!(
+                    "m.push((::std::string::String::from(\"{n}\"), {expr}));",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {pushes} ::serde::Value::Map(m)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(","))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Map(vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(x0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(x{k})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Seq(vec![{i}]))]),",
+                            b = binds.join(","),
+                            i = items.join(",")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            let expr = field_ser_expr(f, &f.name);
+                            pushes.push_str(&format!(
+                                "fm.push((::std::string::String::from(\"{n}\"), {expr}));",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => {{ \
+                             let mut fm: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new(); {pushes} \
+                             ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(fm))]) }},",
+                            b = binds.join(",")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&field_de_expr(f, name));
+            }
+            format!("Ok({name} {{ {inits} }})")
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                .collect();
+            format!(
+                "let s = ::serde::as_seq(v, \"{name}\")?; \
+                 if s.len() != {n} {{ return Err(::serde::DeError::new(\
+                 \"wrong tuple arity for {name}\")); }} \
+                 Ok({name}({items}))",
+                items = items.join(",")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let s = ::serde::as_seq(inner, \"{name}::{vn}\")?; \
+                             if s.len() != {n} {{ return Err(::serde::DeError::new(\
+                             \"wrong tuple arity for {name}::{vn}\")); }} \
+                             Ok({name}::{vn}({items})) }},",
+                            items = items.join(",")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&field_de_expr(f, &format!("{name}::{vn}")));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let v = inner; Ok({name}::{vn} {{ {inits} }}) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{ \
+                 ::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} \
+                 _ => Err(::serde::DeError::unknown_variant(\"{name}\", s)) }}, \
+                 ::serde::Value::Map(m) if m.len() == 1 => {{ \
+                 let (tag, inner) = &m[0]; \
+                 match tag.as_str() {{ {data_arms} \
+                 _ => Err(::serde::DeError::unknown_variant(\"{name}\", tag)) }} }}, \
+                 other => Err(::serde::DeError::expected(\"{name} variant\", other)) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+         {{ {body} }} }}"
+    )
+}

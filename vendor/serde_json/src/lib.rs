@@ -1,0 +1,400 @@
+//! Offline shim for `serde_json`: renders the vendored [`serde::Value`]
+//! data model to JSON text and parses it back.
+//!
+//! Supports everything the workspace serializes: objects, arrays, strings
+//! (with escape handling), booleans, null, and integer/float numbers.
+//! Output is deterministic — object keys keep insertion (declaration)
+//! order, and floats use Rust's shortest round-trip formatting.
+
+pub use serde::{DeError as Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the real serde_json API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the real serde_json API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse_value(s)?)
+}
+
+/// Converts any serializable value into a raw [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the real serde_json API.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Converts a [`Value`] tree into a `T`.
+///
+/// # Errors
+///
+/// Returns an error on a shape mismatch.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+/// Parses JSON text into a raw [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or trailing garbage.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+// ----------------------------------------------------------------------
+// Writer
+// ----------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                out.push_str(&x.to_string());
+            } else {
+                // JSON has no inf/NaN; real serde_json writes null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                write_break(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, depth + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            if !entries.is_empty() {
+                write_break(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_break(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::new(format!(
+            "expected `{}` at byte {pos}",
+            c as char,
+            pos = *pos
+        )))
+    }
+}
+
+fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_at(b, pos)?;
+                entries.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => {
+                        return Err(Error::new(format!(
+                            "expected `,` or `}}` at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(parse_at(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => {
+                        return Err(Error::new(format!(
+                            "expected `,` or `]` at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err(Error::new("unexpected end of input")),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error::new(format!(
+            "invalid literal at byte {pos}",
+            pos = *pos
+        )))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&b[start..*pos]).map_err(|_| Error::new("invalid number encoding"))?;
+    if float {
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("bad number `{text}`")))
+    } else if text.starts_with('-') {
+        text.parse::<i64>()
+            .map(Value::I64)
+            .map_err(|_| Error::new(format!("bad number `{text}`")))
+    } else {
+        text.parse::<u64>()
+            .map(Value::U64)
+            .map_err(|_| Error::new(format!("bad number `{text}`")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| Error::new("bad \\u escape"))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new("bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("nonempty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn value_round_trip() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("a \"quoted\" wl\n".into())),
+            ("ipc".into(), Value::F64(1.25)),
+            ("neg".into(), Value::I64(-3)),
+            ("big".into(), Value::U64(u64::MAX)),
+            (
+                "flags".into(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("empty".into(), Value::Map(vec![])),
+        ]);
+        let text = {
+            let mut s = String::new();
+            super::write_value(&v, &mut s, None, 0);
+            s
+        };
+        assert_eq!(parse_value(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), 3u64);
+        let text = to_string(&m).unwrap();
+        assert_eq!(text, r#"{"x":3}"#);
+        let back: BTreeMap<String, u64> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v: Vec<u64> = vec![1, 2];
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("12 34").is_err());
+        assert!(parse_value(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn floats_keep_precision() {
+        let x = 0.1f64 + 0.2;
+        let text = to_string(&x).unwrap();
+        let back: f64 = from_str(&text).unwrap();
+        assert!(back == x, "{back} vs {x}");
+    }
+}
