@@ -7,7 +7,9 @@
 //! ```
 
 use std::collections::HashMap;
-use ucp_bench::{cached_suite_run, merged_telemetry, Profile};
+use ucp_bench::{
+    cached_suite_run, check_accounting, merged_telemetry, stall_breakdown_table, Profile,
+};
 use ucp_core::SimConfig;
 use ucp_telemetry::snapshot_table;
 use ucp_workloads::Oracle;
@@ -79,5 +81,25 @@ fn main() {
         println!("  (empty — cache predates telemetry; rerun with UCP_NO_CACHE=1)");
     } else {
         print!("{}", snapshot_table(&total));
+    }
+
+    // Cycle accounting: where each configuration's frontend cycles go, per
+    // workload — UCP should shift share out of l1i_miss/resteer relative
+    // to the baseline. Every run is also checked against the accounting
+    // invariant (categories sum to the measured cycle total); a violation
+    // fails the report so CI catches it.
+    let baseline = cached_suite_run(&SimConfig::baseline(), profile);
+    println!("\nstall breakdown, baseline (% of measured cycles):");
+    print!("{}", stall_breakdown_table(&baseline));
+    println!("\nstall breakdown, UCP (% of measured cycles):");
+    print!("{}", stall_breakdown_table(&results));
+    let mut violations = check_accounting(&baseline);
+    violations.extend(check_accounting(&results));
+    if !violations.is_empty() {
+        eprintln!("cycle-accounting invariant violated:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
     }
 }

@@ -1,7 +1,7 @@
 //! Runs one workload with event tracing on and dumps the trace.
 //!
 //! ```text
-//! cargo run --release -p ucp-bench --bin trace_dump -- [WORKLOAD] [OUT]
+//! cargo run --release -p ucp-bench --bin trace_dump -- [--counters] [WORKLOAD] [OUT]
 //! ```
 //!
 //! - `WORKLOAD` — suite workload name (default: the first quick-suite
@@ -10,6 +10,11 @@
 //!   anything else gets Chrome trace-event JSON, loadable in Perfetto
 //!   (<https://ui.perfetto.dev>) or `chrome://tracing`. Default
 //!   `target/ucp-trace.json`.
+//! - `--counters` — also emit Chrome `C` (counter) events from the
+//!   interval sampler: IPC, µ-op cache hit rate, L1I MPKI, and the
+//!   stacked frontend-cycle breakdown render as counter tracks above the
+//!   event rows. Forces a fine sampling interval so short traces still
+//!   chart. Ignored for `.jsonl` output.
 //!
 //! Environment: `UCP_TRACE` selects categories (default `all` here —
 //! unlike the simulator library, this tool exists to trace);
@@ -18,7 +23,10 @@
 
 use ucp_bench::Profile;
 use ucp_core::{run_lengths, SimConfig, Simulator};
-use ucp_telemetry::{snapshot_table, to_chrome_trace, to_jsonl, Telemetry};
+use ucp_telemetry::{
+    snapshot_table, to_chrome_trace, to_chrome_trace_with_counters, to_jsonl, IntervalSampler,
+    Telemetry,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,10 +37,12 @@ fn main() {
         }
         return;
     }
-    let spec = match args.first() {
+    let counters = args.iter().any(|a| a == "--counters" || a == "-c");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    let spec = match positional.first() {
         Some(name) => suite
             .iter()
-            .find(|s| &s.name == name)
+            .find(|s| &s.name == *name)
             .unwrap_or_else(|| {
                 eprintln!("unknown workload `{name}`; try --list");
                 std::process::exit(2);
@@ -40,8 +50,9 @@ fn main() {
             .clone(),
         None => suite[0].clone(),
     };
-    let out_path = args
+    let out_path = positional
         .get(1)
+        .cloned()
         .cloned()
         .unwrap_or_else(|| "target/ucp-trace.json".to_string());
 
@@ -56,11 +67,19 @@ fn main() {
     let cfg = SimConfig::ucp();
     let prog = spec.build();
     let mut sim = Simulator::with_telemetry(&prog, spec.seed, &cfg, telemetry.clone());
-    let (stats, window) = sim.run_instrumented(warmup, measure);
+    if counters {
+        // ~200 samples over the measured window even on short runs
+        // (cycles ≈ instructions at IPC ≈ 1).
+        sim.set_interval_sampling(Some(IntervalSampler::new((measure / 200).max(100), 4096)));
+    }
+    let out = sim.run_full(warmup, measure);
+    let (stats, window) = (out.stats, out.telemetry);
 
     let events = telemetry.tracer.events();
     let text = if out_path.ends_with(".jsonl") {
         to_jsonl(&events)
+    } else if counters {
+        to_chrome_trace_with_counters(&events, &out.intervals)
     } else {
         to_chrome_trace(&events)
     };
@@ -78,6 +97,13 @@ fn main() {
         stats.ipc(),
         out_path
     );
+    if counters {
+        println!(
+            "counter tracks: {} interval samples ({} cycles each)",
+            out.intervals.len(),
+            (measure / 200).max(100)
+        );
+    }
     println!(
         "\nmeasurement-window counters:\n{}",
         snapshot_table(&window)

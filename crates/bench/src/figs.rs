@@ -519,6 +519,55 @@ pub fn fig16(profile: Profile) -> String {
     out
 }
 
+/// Interval time series: per-workload CSVs of IPC, µ-op cache hit rate,
+/// L1I MPKI and the stall breakdown over the run, for the baseline and UCP
+/// configurations. Files land under `target/ucp-figs/timeseries/<config>/`;
+/// the returned report lists what was written.
+pub fn timeseries(profile: Profile) -> String {
+    use ucp_telemetry::intervals_to_csv;
+    let mut out = header(
+        "timeseries",
+        "interval time series (CSV per workload)",
+        "n/a (observability report, no paper counterpart)",
+        profile,
+    );
+    let root = std::path::Path::new("target/ucp-figs/timeseries");
+    for (tag, cfg) in [
+        ("baseline", SimConfig::baseline()),
+        ("ucp", SimConfig::ucp()),
+    ] {
+        let results = cached_suite_run(&cfg, profile);
+        let dir = root.join(tag);
+        if std::fs::create_dir_all(&dir).is_err() {
+            out += &format!("  {tag}: cannot create {}\n", dir.display());
+            continue;
+        }
+        let mut written = 0usize;
+        let mut records = 0usize;
+        for r in &results {
+            if r.intervals.is_empty() {
+                continue; // cached before sampling existed, or sampling off
+            }
+            let path = dir.join(format!("{}.csv", r.workload));
+            if std::fs::write(&path, intervals_to_csv(&r.intervals)).is_ok() {
+                written += 1;
+                records += r.intervals.len();
+            }
+        }
+        if written == 0 {
+            out += &format!(
+                "  {tag}: no interval data (rerun with UCP_NO_CACHE=1 and UCP_INTERVAL set)\n"
+            );
+        } else {
+            out += &format!(
+                "  {tag}: {written} workload CSVs, {records} intervals -> {}\n",
+                dir.display()
+            );
+        }
+    }
+    out
+}
+
 /// Table I self-check: the stopping weights the engine actually uses.
 pub fn table1() -> String {
     use ucp_bpred::{SclPreset, TageScL};
@@ -618,6 +667,8 @@ pub fn all(profile: Profile) -> String {
         out.push('\n');
     }
     out += &table_artifact(profile);
+    out.push('\n');
+    out += &timeseries(profile);
     out
 }
 

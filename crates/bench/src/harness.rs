@@ -1,7 +1,10 @@
-//! Shared harness plumbing: profiles, the result cache, and formatting.
+//! Shared harness plumbing: profiles, the result cache, host-side
+//! self-profiling, and formatting.
 
 use std::path::PathBuf;
+use std::time::Instant;
 use ucp_core::{run_suite, RunResult, SimConfig};
+use ucp_telemetry::AccountingBreakdown;
 use ucp_workloads::suite::{quick_suite, workload_suite};
 use ucp_workloads::WorkloadSpec;
 
@@ -54,8 +57,9 @@ impl Profile {
 }
 
 /// Bump when a model-affecting code change invalidates cached results.
-/// (v1 keeps the original key format so existing caches stay valid.)
-pub const MODEL_VERSION: u32 = 1;
+/// (v2: results now carry cycle accounting and interval time series, so
+/// caches written before those existed must repopulate.)
+pub const MODEL_VERSION: u32 = 2;
 
 fn cache_dir() -> PathBuf {
     std::env::var("UCP_RESULT_DIR")
@@ -96,10 +100,14 @@ pub fn cached_suite_run(cfg: &SimConfig, profile: Profile) -> Vec<RunResult> {
     let (warmup, measure) = profile.lengths();
     let cfg_json = serde_json::to_string(cfg).expect("config serializes");
     let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+    // Cached results embed the interval series sampled at whatever
+    // UCP_INTERVAL was active when the cache was populated, so the
+    // effective interval is part of the key (0 = sampling off).
+    let interval = ucp_telemetry::IntervalSampler::from_env().map_or(0, |s| s.every());
     let key = if MODEL_VERSION == 1 {
         format!("{cfg_json}|{names:?}|{warmup}|{measure}")
     } else {
-        format!("{cfg_json}|{names:?}|{warmup}|{measure}|v{MODEL_VERSION}")
+        format!("{cfg_json}|{names:?}|{warmup}|{measure}|v{MODEL_VERSION}|iv{interval}")
     };
     let path = cache_dir().join(format!("{:016x}.json", fnv1a(key.as_bytes())));
     let no_cache = std::env::var("UCP_NO_CACHE").is_ok();
@@ -137,6 +145,123 @@ pub fn merged_telemetry(results: &[RunResult]) -> ucp_telemetry::RegistrySnapsho
         total.merge(&r.telemetry);
     }
     total
+}
+
+/// Suite-wide cycle-accounting breakdown: the per-workload accounting
+/// counters summed, then decoded. Empty (all-zero) when the results carry
+/// no telemetry.
+pub fn suite_breakdown(results: &[RunResult]) -> AccountingBreakdown {
+    AccountingBreakdown::from_snapshot(&merged_telemetry(results))
+}
+
+/// Checks the cycle-accounting invariant on every result: the per-category
+/// cycles must sum to the accounting total, which must equal the measured
+/// cycle count. Returns one message per violating workload (empty = all
+/// good). Results without telemetry (pre-accounting caches) are skipped —
+/// there is nothing to check.
+pub fn check_accounting(results: &[RunResult]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for r in results {
+        if r.telemetry.is_empty() {
+            continue;
+        }
+        let b = AccountingBreakdown::from_snapshot(&r.telemetry);
+        if let Err(e) = b.verify() {
+            bad.push(format!("{}: {e}", r.workload));
+        } else if b.total != r.stats.cycles {
+            bad.push(format!(
+                "{}: accounting charged {} cycles but the run measured {}",
+                r.workload, b.total, r.stats.cycles
+            ));
+        }
+    }
+    bad
+}
+
+/// Host-side self-profiling for one harness phase: wall-clock time next to
+/// the simulated volume it covered, so runs report simulation throughput
+/// (simulated MIPS) alongside simulated results.
+#[derive(Clone, Debug)]
+pub struct HostPhase {
+    /// Phase label (e.g. a config name).
+    pub name: String,
+    /// Wall-clock seconds spent in the phase.
+    pub wall_seconds: f64,
+    /// Simulated instructions committed during the phase.
+    pub instructions: u64,
+    /// Simulated cycles elapsed during the phase.
+    pub cycles: u64,
+}
+
+impl HostPhase {
+    /// Simulated millions of instructions per wall-clock second.
+    pub fn mips(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / 1e6 / self.wall_seconds
+        }
+    }
+}
+
+/// Runs `cfg` over the profile's suite with the host-side wall clock
+/// running — always uncached, since a cache hit would time disk I/O
+/// instead of simulation. The returned [`HostPhase`] sums the measured
+/// windows of every workload in the suite.
+pub fn profiled_suite_run(
+    name: &str,
+    cfg: &SimConfig,
+    profile: Profile,
+) -> (Vec<RunResult>, HostPhase) {
+    let suite = profile.suite();
+    let (warmup, measure) = profile.lengths();
+    let t0 = Instant::now();
+    let results = run_suite(&suite, cfg, warmup, measure);
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let phase = HostPhase {
+        name: name.to_string(),
+        wall_seconds,
+        instructions: results.iter().map(|r| r.stats.instructions).sum(),
+        cycles: results.iter().map(|r| r.stats.cycles).sum(),
+    };
+    (results, phase)
+}
+
+/// Renders a per-workload stall-breakdown table: one row per workload with
+/// the percentage of measured cycles charged to each category, plus an
+/// aggregate row. Category columns are ordered by the aggregate's largest
+/// share first.
+pub fn stall_breakdown_table(results: &[RunResult]) -> String {
+    use ucp_telemetry::CycleCause;
+    let agg = suite_breakdown(results);
+    if agg.is_empty() {
+        return "  (no accounting data — cache predates cycle accounting; \
+                rerun with UCP_NO_CACHE=1)\n"
+            .to_string();
+    }
+    let order: Vec<CycleCause> = agg.sorted().into_iter().map(|(c, _)| c).collect();
+    let mut out = format!("  {:<10}", "workload");
+    for c in &order {
+        out += &format!(" {:>13}", c.name());
+    }
+    out.push('\n');
+    let row = |label: &str, b: &AccountingBreakdown| {
+        let mut line = format!("  {label:<10}");
+        for c in &order {
+            line += &format!(" {:>12.1}%", b.share_pct(*c));
+        }
+        line.push('\n');
+        line
+    };
+    for r in results {
+        let b = AccountingBreakdown::from_snapshot(&r.telemetry);
+        if b.is_empty() {
+            continue;
+        }
+        out += &row(&r.workload, &b);
+    }
+    out += &row("ALL", &agg);
+    out
 }
 
 /// Arithmetic mean.
@@ -235,13 +360,83 @@ mod tests {
                 workload: "a".into(),
                 stats: SimStats::default(),
                 telemetry: a,
+                intervals: Vec::new(),
             },
             RunResult {
                 workload: "b".into(),
                 stats: SimStats::default(),
                 telemetry: b,
+                intervals: Vec::new(),
             },
         ];
         assert_eq!(merged_telemetry(&results).counters["ucp.walks_started"], 5);
+    }
+
+    fn result_with_accounting(workload: &str, cycles: u64, uop: u64, miss: u64) -> RunResult {
+        use ucp_core::SimStats;
+        use ucp_telemetry::{CycleCause, TOTAL_CYCLES_PATH};
+        let mut snap = ucp_telemetry::RegistrySnapshot::default();
+        snap.counters
+            .insert(CycleCause::DeliverUop.counter_path(), uop);
+        snap.counters
+            .insert(CycleCause::L1iMiss.counter_path(), miss);
+        snap.counters.insert(TOTAL_CYCLES_PATH.into(), uop + miss);
+        let stats = SimStats {
+            cycles,
+            ..Default::default()
+        };
+        RunResult {
+            workload: workload.into(),
+            stats,
+            telemetry: snap,
+            intervals: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn check_accounting_flags_mismatches_only() {
+        let good = result_with_accounting("good", 10, 7, 3);
+        let bad = result_with_accounting("bad", 11, 7, 3); // total != cycles
+        let legacy = RunResult {
+            workload: "legacy".into(),
+            stats: ucp_core::SimStats::default(),
+            telemetry: ucp_telemetry::RegistrySnapshot::default(),
+            intervals: Vec::new(),
+        };
+        assert!(check_accounting(&[good.clone(), legacy]).is_empty());
+        let msgs = check_accounting(&[good, bad]);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].starts_with("bad:"), "{msgs:?}");
+    }
+
+    #[test]
+    fn stall_table_orders_by_aggregate_share() {
+        let r = vec![
+            result_with_accounting("w0", 10, 7, 3),
+            result_with_accounting("w1", 10, 6, 4),
+        ];
+        let table = stall_breakdown_table(&r);
+        // deliver_uop dominates the aggregate, so its column comes first.
+        let uop = table.find("deliver_uop").unwrap();
+        let miss = table.find("l1i_miss").unwrap();
+        assert!(uop < miss, "{table}");
+        assert!(table.contains("ALL"));
+        assert_eq!(suite_breakdown(&r).total, 20);
+    }
+
+    #[test]
+    fn host_phase_mips() {
+        let p = HostPhase {
+            name: "x".into(),
+            wall_seconds: 2.0,
+            instructions: 8_000_000,
+            cycles: 1,
+        };
+        assert_eq!(p.mips(), 4.0);
+        let z = HostPhase {
+            wall_seconds: 0.0,
+            ..p
+        };
+        assert_eq!(z.mips(), 0.0);
     }
 }

@@ -22,4 +22,7 @@
 pub mod figs;
 pub mod harness;
 
-pub use harness::{cached_suite_run, merged_telemetry, Profile};
+pub use harness::{
+    cached_suite_run, check_accounting, merged_telemetry, profiled_suite_run,
+    stall_breakdown_table, suite_breakdown, HostPhase, Profile,
+};

@@ -7,6 +7,7 @@ use crate::stats::SimStats;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use ucp_telemetry::interval::IntervalRecord;
 use ucp_telemetry::RegistrySnapshot;
 use ucp_workloads::WorkloadSpec;
 
@@ -47,6 +48,10 @@ pub struct RunResult {
     /// (`#[serde(default)]` keeps those readable).
     #[serde(default)]
     pub telemetry: RegistrySnapshot,
+    /// Interval time series over the measurement window (empty when
+    /// sampling was off, or for results cached before it existed).
+    #[serde(default)]
+    pub intervals: Vec<IntervalRecord>,
 }
 
 /// Runs `cfg` over every workload in `suite`, in parallel, deterministically.
@@ -72,11 +77,12 @@ pub fn run_suite(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = suite.get(i) else { break };
-                let (stats, telemetry) = Simulator::run_spec_full(spec, cfg, warmup, measure);
+                let out = Simulator::run_spec_output(spec, cfg, warmup, measure);
                 *slots[i].lock().expect("result slot poisoned") = Some(RunResult {
                     workload: spec.name.clone(),
-                    stats,
-                    telemetry,
+                    stats: out.stats,
+                    telemetry: out.telemetry,
+                    intervals: out.intervals,
                 });
             });
         }
@@ -159,6 +165,15 @@ mod tests {
         let snap = &r[0].telemetry;
         assert!(!snap.is_empty(), "measurement window should tick counters");
         assert!(snap.counters.contains_key("frontend.uopc.hits"));
+        // Cycle accounting rides in the same window delta and must tile
+        // the measured cycles exactly.
+        let b = ucp_telemetry::AccountingBreakdown::from_snapshot(snap);
+        b.verify().expect("accounting invariant");
+        assert_eq!(b.total, r[0].stats.cycles);
+        // Default sampling is on: at least the final partial interval.
+        assert!(!r[0].intervals.is_empty());
+        let sampled: u64 = r[0].intervals.iter().map(|iv| iv.cycles()).sum();
+        assert_eq!(sampled, r[0].stats.cycles, "intervals tile the window");
     }
 
     #[test]
@@ -169,13 +184,15 @@ mod tests {
             workload: "w".into(),
             stats,
             telemetry: RegistrySnapshot::default(),
+            intervals: Vec::new(),
         })
         .unwrap();
         if let serde_json::Value::Map(entries) = &mut v {
-            entries.retain(|(k, _)| k != "telemetry");
+            entries.retain(|(k, _)| k != "telemetry" && k != "intervals");
         }
         let back: RunResult = serde_json::from_value(v).unwrap();
         assert!(back.telemetry.is_empty());
+        assert!(back.intervals.is_empty());
     }
 
     #[test]

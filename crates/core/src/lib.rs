@@ -32,6 +32,6 @@ pub use config::{
     BackendConfig, ConfKind, FrontendConfig, PrefetcherKind, SimConfig, UcpConfig, UopCacheModel,
 };
 pub use experiment::{run_lengths, run_suite, speedups_pct, RunResult};
-pub use pipeline::Simulator;
+pub use pipeline::{RunOutput, Simulator};
 pub use stats::{geomean_speedup_pct, BucketCount, H2pCounts, SimStats, UcpStats};
 pub use ucp::UcpEngine;

@@ -37,7 +37,11 @@ use ucp_bpred::{
 use ucp_frontend::{BoundedQueue, Btb, EntryEnd, Ras, RasCheckpoint, UopCache, UopEntrySpec};
 use ucp_mem::{Hierarchy, HitLevel};
 use ucp_prefetch::{DJolt, Entangling, FnlMma, InstPrefetcher, Mrc, NoPrefetch};
-use ucp_telemetry::{Category, Counter, RegistrySnapshot, Telemetry};
+use ucp_telemetry::interval::{IntervalRecord, IntervalSampler, INSTRET_PATH};
+use ucp_telemetry::{
+    AccountingBreakdown, Category, Counter, CycleAccounting, CycleCause, Histogram,
+    RegistrySnapshot, Telemetry,
+};
 use ucp_workloads::{Oracle, Program, WorkloadSpec};
 
 /// Builds µ-op cache entries for `n` instructions starting at `start`,
@@ -173,6 +177,9 @@ struct SimTelemetry {
     resteers: Counter,
     mode_switches: Counter,
     l1i_prefetches: Counter,
+    committed: Counter,
+    ftq_occupancy: Histogram,
+    accounting: CycleAccounting,
 }
 
 impl SimTelemetry {
@@ -182,9 +189,25 @@ impl SimTelemetry {
             resteers: handle.registry.counter("pipeline.btb_resteers"),
             mode_switches: handle.registry.counter("frontend.uopc.mode_switches"),
             l1i_prefetches: handle.registry.counter("prefetch.l1i_issued"),
+            committed: handle.registry.counter(INSTRET_PATH),
+            ftq_occupancy: handle.registry.histogram("frontend.ftq.occupancy"),
+            accounting: CycleAccounting::bound_to(&handle.registry),
             handle,
         }
     }
+}
+
+/// Everything one instrumented run produces: aggregate statistics, the
+/// measurement-window telemetry delta, and the interval time series
+/// (empty when sampling is disabled via `UCP_INTERVAL=0`).
+#[derive(Clone, Debug, Default)]
+pub struct RunOutput {
+    /// Aggregate statistics over the measurement window.
+    pub stats: SimStats,
+    /// Registry delta over the measurement window.
+    pub telemetry: RegistrySnapshot,
+    /// Interval samples covering the measurement window, oldest first.
+    pub intervals: Vec<IntervalRecord>,
 }
 
 /// The full-machine simulator for one workload.
@@ -242,6 +265,13 @@ pub struct Simulator<'p> {
     measuring: bool,
     stats: SimStats,
     tele: SimTelemetry,
+    sampler: Option<IntervalSampler>,
+
+    // Per-cycle attribution scratch, reset at the top of `cycle()`.
+    delivered_uop: bool,
+    delivered_decode: bool,
+    deliver_blocked: Option<CycleCause>,
+    agen_stall_kind: CycleCause,
 }
 
 impl<'p> Simulator<'p> {
@@ -337,9 +367,21 @@ impl<'p> Simulator<'p> {
             measuring: false,
             stats: SimStats::default(),
             tele: SimTelemetry::bound_to(telemetry),
+            sampler: IntervalSampler::from_env(),
+            delivered_uop: false,
+            delivered_decode: false,
+            deliver_blocked: None,
+            agen_stall_kind: CycleCause::Drained,
             prog,
             cfg: cfg.clone(),
         }
+    }
+
+    /// Replaces the interval sampler (constructed from `UCP_INTERVAL` by
+    /// default). `None` disables sampling; tools like `trace_dump` pass
+    /// an explicit sampler to force it on.
+    pub fn set_interval_sampling(&mut self, sampler: Option<IntervalSampler>) {
+        self.sampler = sampler;
     }
 
     /// The telemetry handle this simulator reports into.
@@ -360,9 +402,21 @@ impl<'p> Simulator<'p> {
         warmup: u64,
         measure: u64,
     ) -> (SimStats, RegistrySnapshot) {
+        let out = Simulator::run_spec_output(spec, cfg, warmup, measure);
+        (out.stats, out.telemetry)
+    }
+
+    /// Like [`Simulator::run_spec_full`], but returns the full
+    /// [`RunOutput`] including the interval time series.
+    pub fn run_spec_output(
+        spec: &WorkloadSpec,
+        cfg: &SimConfig,
+        warmup: u64,
+        measure: u64,
+    ) -> RunOutput {
         let prog = spec.build();
         let mut sim = Simulator::new(&prog, spec.seed, cfg);
-        sim.run_instrumented(warmup, measure)
+        sim.run_full(warmup, measure)
     }
 
     /// Runs `warmup` instructions with statistics off, then `measure`
@@ -382,6 +436,15 @@ impl<'p> Simulator<'p> {
     /// snapshotting at the measurement boundary and diffing at the end —
     /// the same pattern as the L1I and UCP statistics below.
     pub fn run_instrumented(&mut self, warmup: u64, measure: u64) -> (SimStats, RegistrySnapshot) {
+        let out = self.run_full(warmup, measure);
+        (out.stats, out.telemetry)
+    }
+
+    /// [`Simulator::run_instrumented`] plus the interval time series, and
+    /// the point where the cycle-accounting invariant is enforced: the
+    /// per-category cycles must sum to the independently-counted total,
+    /// which must equal the measured cycle count.
+    pub fn run_full(&mut self, warmup: u64, measure: u64) -> RunOutput {
         while self.committed < warmup {
             self.cycle();
         }
@@ -393,6 +456,9 @@ impl<'p> Simulator<'p> {
         let l1i0 = *self.hier.l1i_stats();
         let ucp0 = self.ucp.as_ref().map(|u| u.stats.clone());
         let reg0 = self.tele.handle.registry.snapshot();
+        if let Some(s) = self.sampler.as_mut() {
+            s.begin(self.now, &self.tele.handle.registry);
+        }
         let end = start_committed + measure;
         while self.committed < end {
             self.cycle();
@@ -406,7 +472,29 @@ impl<'p> Simulator<'p> {
             self.stats.ucp = u.stats.delta_since(u0);
         }
         let telemetry = self.tele.handle.registry.snapshot().delta_since(&reg0);
-        (std::mem::take(&mut self.stats), telemetry)
+        let intervals = match self.sampler.take() {
+            Some(mut s) => {
+                s.finish(self.now, &self.tele.handle.registry);
+                s.into_records()
+            }
+            None => Vec::new(),
+        };
+        let stats = std::mem::take(&mut self.stats);
+        // The charger runs exactly once per cycle, so over the window the
+        // categories must tile the measured cycles exactly. A violation
+        // here is always an attribution bug, never a workload property.
+        let breakdown = AccountingBreakdown::from_snapshot(&telemetry);
+        breakdown.verify().expect("cycle accounting");
+        assert_eq!(
+            breakdown.total, stats.cycles,
+            "cycle accounting charged {} cycles but the window ran {}",
+            breakdown.total, stats.cycles,
+        );
+        RunOutput {
+            stats,
+            telemetry,
+            intervals,
+        }
     }
 
     /// The materialized correct-path instruction at absolute position `pos`.
@@ -423,6 +511,9 @@ impl<'p> Simulator<'p> {
             self.tele.handle.tracer.set_cycle(self.now);
         }
         self.demand_uop_banks = [false; 2];
+        self.delivered_uop = false;
+        self.delivered_decode = false;
+        self.deliver_blocked = None;
         self.process_resolutions();
         self.commit_stage();
         self.dispatch_stage();
@@ -431,7 +522,12 @@ impl<'p> Simulator<'p> {
         self.ucp_stage();
         self.agen_stage();
         self.l1i_prefetch_stage();
+        self.tele.accounting.charge(self.classify_cycle());
+        self.tele.ftq_occupancy.observe(self.ftq.len() as u64);
         self.now += 1;
+        if let Some(s) = self.sampler.as_mut() {
+            s.tick(self.now, &self.tele.handle.registry);
+        }
         assert!(
             self.now - self.last_commit_cycle < 500_000,
             "pipeline deadlock at cycle {} (committed {}, agen_dead {}, \
@@ -444,6 +540,41 @@ impl<'p> Simulator<'p> {
             self.ftq.len(),
             self.uopq.len(),
         );
+    }
+
+    /// Attributes the cycle that just executed to one [`CycleCause`],
+    /// applying the precedence order documented in
+    /// `ucp_telemetry::accounting`: delivery beats every stall, then the
+    /// most specific recorded blocker wins.
+    fn classify_cycle(&self) -> CycleCause {
+        if self.delivered_uop {
+            return CycleCause::DeliverUop;
+        }
+        if self.delivered_decode {
+            return CycleCause::DeliverDecode;
+        }
+        if self.now < self.fetch_stall_until {
+            // Covers both an in-progress mode-switch penalty window and
+            // the cycle the switch itself was taken.
+            return CycleCause::ModeSwitch;
+        }
+        if let Some(cause) = self.deliver_blocked {
+            return cause;
+        }
+        if self.ftq.is_empty() {
+            if self.agen_dead {
+                // No-target indirect/return: the frontend drains until
+                // the branch executes and redirects.
+                return CycleCause::Drained;
+            }
+            if self.now < self.agen_stall_until {
+                // Either a BTB-miss re-steer bubble or a flush-redirect
+                // penalty; `agen_stall_kind` remembers which stalled us.
+                return self.agen_stall_kind;
+            }
+            return CycleCause::FtqEmpty;
+        }
+        CycleCause::Drained
     }
 
     // ------------------------------------------------------------------
@@ -594,6 +725,7 @@ impl<'p> Simulator<'p> {
         self.agen_dead = false;
         self.pending_mispredict = None;
         self.agen_stall_until = self.now + self.cfg.frontend.redirect_penalty;
+        self.agen_stall_kind = CycleCause::Drained;
         self.prefetcher.on_redirect();
         if rec.kind == RecKind::Cond {
             if let Some(n) = self.cfg.ideal_brcond {
@@ -630,6 +762,7 @@ impl<'p> Simulator<'p> {
             }
         }
         if !retired.is_empty() {
+            self.tele.committed.add(retired.len() as u64);
             self.last_commit_cycle = self.now;
         }
     }
@@ -766,6 +899,7 @@ impl<'p> Simulator<'p> {
     fn deliver_block_uops(&mut self, blk: FetchBlock, ready: u64, from_cache: bool) -> bool {
         // Room check first: a block is delivered atomically.
         if self.uopq.free() < blk.n as usize {
+            self.deliver_blocked = Some(CycleCause::BackendFull);
             return false;
         }
         for i in 0..blk.n {
@@ -778,6 +912,11 @@ impl<'p> Simulator<'p> {
             self.uopq
                 .push(UopQEntry { pos, ready, rec })
                 .expect("room checked above");
+        }
+        if from_cache {
+            self.delivered_uop = true;
+        } else {
+            self.delivered_decode = true;
         }
         if self.measuring {
             if from_cache {
@@ -894,10 +1033,16 @@ impl<'p> Simulator<'p> {
                                 }
                                 acc.ready
                             }
-                            Err(_) => break,
+                            Err(_) => {
+                                // L1I MSHR full: the instruction fetch
+                                // itself cannot even be issued.
+                                self.deliver_blocked = Some(CycleCause::L1iMiss);
+                                break;
+                            }
                         },
                     };
                     if ready > self.now {
+                        self.deliver_blocked = Some(CycleCause::L1iMiss);
                         break;
                     }
                     let remaining = blk.n - self.head_delivered;
@@ -907,6 +1052,7 @@ impl<'p> Simulator<'p> {
                     }
                     // Deliver `take` µ-ops of the head block.
                     if self.uopq.free() < take as usize {
+                        self.deliver_blocked = Some(CycleCause::BackendFull);
                         break;
                     }
                     let base_ready = self.now + self.cfg.frontend.decode_path_delay;
@@ -926,6 +1072,7 @@ impl<'p> Simulator<'p> {
                             })
                             .expect("room checked");
                     }
+                    self.delivered_decode = true;
                     if self.measuring {
                         self.stats.uops_from_decode += u64::from(take);
                     }
@@ -1331,6 +1478,7 @@ impl<'p> Simulator<'p> {
     fn charge_resteer(&mut self) {
         self.agen_stall_until =
             (self.now + self.cfg.frontend.btb_resteer_penalty).max(self.agen_stall_until);
+        self.agen_stall_kind = CycleCause::Resteer;
         if self.measuring {
             self.stats.btb_resteers += 1;
         }

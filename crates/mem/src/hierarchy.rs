@@ -135,6 +135,9 @@ struct MemTelemetry {
     l1i_mshr_full: Counter,
     l1d_mshr_full: Counter,
     l1i_mshr_occupancy: Histogram,
+    l1i_fill_from_l2: Counter,
+    l1i_fill_from_llc: Counter,
+    l1i_fill_from_dram: Counter,
 }
 
 impl MemTelemetry {
@@ -146,6 +149,21 @@ impl MemTelemetry {
             l1i_mshr_full: t.registry.counter("mem.l1i.mshr_full_stalls"),
             l1d_mshr_full: t.registry.counter("mem.l1d.mshr_full_stalls"),
             l1i_mshr_occupancy: t.registry.histogram("mem.l1i.mshr_occupancy"),
+            l1i_fill_from_l2: t.registry.counter("mem.l1i.fill_from_l2"),
+            l1i_fill_from_llc: t.registry.counter("mem.l1i.fill_from_llc"),
+            l1i_fill_from_dram: t.registry.counter("mem.l1i.fill_from_dram"),
+        }
+    }
+
+    /// Counts which level serviced an L1I demand miss — the interval
+    /// exporters use the split to tell short (L2-hit) from long (DRAM)
+    /// frontend stall phases apart.
+    fn record_l1i_fill(&self, level: HitLevel) {
+        match level {
+            HitLevel::L1 => {}
+            HitLevel::L2 => self.l1i_fill_from_l2.inc(),
+            HitLevel::Llc => self.l1i_fill_from_llc.inc(),
+            HitLevel::Dram => self.l1i_fill_from_dram.inc(),
         }
     }
 }
@@ -298,6 +316,7 @@ impl Hierarchy {
                 self.tele.l1i_demand_misses.inc();
                 let t_miss = t + self.l1i.config().latency;
                 let (ready, level) = self.fetch_from_l2(addr, t_miss, false);
+                self.tele.record_l1i_fill(level);
                 self.l1i_mshr.allocate(addr, ready);
                 self.l1i.fill(addr, ready, false);
                 self.tele.tracer.emit(Category::Mem, "l1i_miss", || {
@@ -488,6 +507,9 @@ mod tests {
         let snap = t.registry.snapshot();
         assert_eq!(snap.counters["mem.l1i.demand_misses"], 1);
         assert_eq!(snap.counters["mem.l1i.mshr_full_stalls"], 1);
+        // Cold miss: the fill came all the way from DRAM.
+        assert_eq!(snap.counters["mem.l1i.fill_from_dram"], 1);
+        assert_eq!(snap.counters["mem.l1i.fill_from_l2"], 0);
         assert_eq!(snap.histograms["mem.l1i.mshr_occupancy"].count, 2);
         assert!(t.tracer.events().iter().any(|e| e.name == "mshr_full"));
     }

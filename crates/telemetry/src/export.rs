@@ -1,6 +1,8 @@
 //! Trace exporters: Chrome trace-event JSON (loads in Perfetto and
 //! `chrome://tracing`) and line-delimited JSON for ad-hoc tooling.
 
+use crate::accounting::CycleCause;
+use crate::interval::IntervalRecord;
 use crate::registry::RegistrySnapshot;
 use crate::tracer::{Category, TraceEvent};
 use serde::{Serialize, Value};
@@ -12,6 +14,18 @@ use serde::{Serialize, Value};
 /// Perfetto draws each subsystem on its own row, and the payload under
 /// `args.detail`. Thread-name metadata events label the rows.
 pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    to_chrome_trace_with_counters(events, &[])
+}
+
+/// Like [`to_chrome_trace`], but additionally renders interval records as
+/// Chrome counter tracks (`ph: "C"`): `ipc`, `uopc_hit_pct`, `l1i_mpki`,
+/// and a stacked `frontend_cycles` track with one series per
+/// [`CycleCause`]. Perfetto plots these alongside the instant events, so
+/// stall phases line up with the discrete events that caused them.
+pub fn to_chrome_trace_with_counters(
+    events: &[TraceEvent],
+    intervals: &[IntervalRecord],
+) -> String {
     let mut entries: Vec<Value> = Vec::new();
     for (tid, cat) in Category::ALL.iter().enumerate() {
         entries.push(Value::Map(vec![
@@ -41,6 +55,42 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
             (
                 "args".into(),
                 Value::Map(vec![("detail".into(), e.payload.to_value())]),
+            ),
+        ]));
+    }
+    for r in intervals {
+        // Counter events carry their value set in args; Chrome/Perfetto
+        // render multi-key args as a stacked counter track.
+        let ts = r.end_cycle;
+        let scalar = |name: &str, value: f64| {
+            Value::Map(vec![
+                ("name".into(), name.to_value()),
+                ("ph".into(), "C".to_value()),
+                ("ts".into(), ts.to_value()),
+                ("pid".into(), 0u64.to_value()),
+                (
+                    "args".into(),
+                    Value::Map(vec![("value".into(), value.to_value())]),
+                ),
+            ])
+        };
+        entries.push(scalar("ipc", r.ipc()));
+        entries.push(scalar("uopc_hit_pct", r.uopc_hit_pct()));
+        entries.push(scalar("l1i_mpki", r.l1i_mpki()));
+        let b = r.breakdown();
+        entries.push(Value::Map(vec![
+            ("name".into(), "frontend_cycles".to_value()),
+            ("ph".into(), "C".to_value()),
+            ("ts".into(), ts.to_value()),
+            ("pid".into(), 0u64.to_value()),
+            (
+                "args".into(),
+                Value::Map(
+                    CycleCause::ALL
+                        .iter()
+                        .map(|&c| (c.name().to_string(), b.get(c).to_value()))
+                        .collect(),
+                ),
             ),
         ]));
     }
@@ -127,6 +177,53 @@ mod tests {
         let last = items.last().unwrap();
         assert_eq!(serde::value_get(last, "ph"), Some(&Value::Str("i".into())));
         assert_eq!(serde::value_get(last, "ts"), Some(&Value::U64(12)));
+    }
+
+    #[test]
+    fn counter_tracks_ride_alongside_events() {
+        let mut counters = std::collections::BTreeMap::new();
+        counters.insert("pipeline.committed".to_string(), 300u64);
+        counters.insert(CycleCause::DeliverUop.counter_path(), 60u64);
+        counters.insert(CycleCause::L1iMiss.counter_path(), 40u64);
+        counters.insert(crate::accounting::TOTAL_CYCLES_PATH.to_string(), 100u64);
+        let record = IntervalRecord {
+            index: 0,
+            start_cycle: 0,
+            end_cycle: 100,
+            counters,
+        };
+        let text = to_chrome_trace_with_counters(&sample_events(), &[record]);
+        let doc = serde_json::parse_value(&text).unwrap();
+        let Some(Value::Seq(items)) = serde::value_get(&doc, "traceEvents") else {
+            panic!("traceEvents must be an array")
+        };
+        // 6 thread names + 2 instant events + 4 counter events.
+        assert_eq!(items.len(), 12);
+        let counter_events: Vec<&Value> = items
+            .iter()
+            .filter(|v| serde::value_get(v, "ph") == Some(&Value::Str("C".into())))
+            .collect();
+        assert_eq!(counter_events.len(), 4);
+        let ipc = counter_events
+            .iter()
+            .find(|v| serde::value_get(v, "name") == Some(&Value::Str("ipc".into())))
+            .expect("ipc track present");
+        // The JSON parser may round-trip whole floats as integers; check
+        // the numeric value rather than the variant.
+        let args = serde::value_get(ipc, "args").unwrap();
+        let ipc_value = match serde::value_get(args, "value") {
+            Some(Value::F64(x)) => *x,
+            Some(Value::U64(n)) => *n as f64,
+            other => panic!("ipc value missing: {other:?}"),
+        };
+        assert!((ipc_value - 3.0).abs() < 1e-12);
+        let stacked = counter_events
+            .iter()
+            .find(|v| serde::value_get(v, "name") == Some(&Value::Str("frontend_cycles".into())))
+            .expect("stacked breakdown track present");
+        let args = serde::value_get(stacked, "args").unwrap();
+        assert_eq!(serde::value_get(args, "deliver_uop"), Some(&Value::U64(60)));
+        assert_eq!(serde::value_get(args, "l1i_miss"), Some(&Value::U64(40)));
     }
 
     #[test]

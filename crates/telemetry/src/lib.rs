@@ -31,12 +31,26 @@
 //! | `Ucp`      | `ucp.`      | alternate-path walks: triggers, stops, fills, steals |
 //! | `Mem`      | `mem.`      | cache misses, MSHR occupancy/stalls, DRAM traffic    |
 //!
+//! On top of the registry sit two derived layers:
+//!
+//! - **Cycle accounting** ([`accounting`]) charges every simulated
+//!   frontend cycle to exactly one [`CycleCause`], with the invariant
+//!   that categories sum to total cycles.
+//! - **Interval sampling** ([`interval`]) snapshots registry deltas
+//!   every N cycles into a bounded ring of [`IntervalRecord`]s, giving
+//!   phase-resolved time series (IPC, hit rates, stall shares) that are
+//!   exportable as CSV/JSONL and as Perfetto counter tracks.
+//!
 //! # Environment variables
 //!
 //! - `UCP_TRACE` — comma-separated category list (`ucp,mem`), or `all`.
 //!   Unset/empty disables tracing entirely.
 //! - `UCP_TRACE_BUF` — ring-buffer capacity in events (default 65536).
 //!   When full, the oldest events are overwritten and counted as dropped.
+//! - `UCP_INTERVAL` — cycles per interval sample (default 100000; `0` or
+//!   `off` disables interval sampling).
+//! - `UCP_INTERVAL_BUF` — interval ring capacity in records (default
+//!   4096).
 //!
 //! # Example
 //!
@@ -53,11 +67,15 @@
 //! assert_eq!(t.tracer.events()[0].cycle, 120);
 //! ```
 
+pub mod accounting;
 pub mod export;
+pub mod interval;
 pub mod registry;
 pub mod tracer;
 
-pub use export::{snapshot_table, to_chrome_trace, to_jsonl};
+pub use accounting::{AccountingBreakdown, CycleAccounting, CycleCause, TOTAL_CYCLES_PATH};
+pub use export::{snapshot_table, to_chrome_trace, to_chrome_trace_with_counters, to_jsonl};
+pub use interval::{intervals_to_csv, intervals_to_jsonl, IntervalRecord, IntervalSampler};
 pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use tracer::{Category, CategorySet, TraceEvent, Tracer};
 

@@ -260,29 +260,35 @@ impl RegistrySnapshot {
         }
     }
 
-    /// Instrument-wise difference `self - earlier`, dropping counters
+    /// Instrument-wise difference `self - earlier`, dropping instruments
     /// that did not move. This is how a measurement window is carved out
     /// of whole-run telemetry: snapshot at measurement start, snapshot at
     /// the end, diff.
+    ///
+    /// An instrument created *after* `earlier` was taken has no baseline
+    /// entry and appears in the delta with its full value — all of its
+    /// activity happened inside the window. (Instruments are iterated
+    /// from `self`, so late creation never silently drops data; the
+    /// regression test below pins this.)
     pub fn delta_since(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
         let counters = self
             .counters
             .iter()
-            .map(|(path, &v)| {
+            .filter_map(|(path, &v)| {
                 let before = earlier.counters.get(path).copied().unwrap_or(0);
-                (path.clone(), v.saturating_sub(before))
+                let delta = v.saturating_sub(before);
+                (delta > 0).then(|| (path.clone(), delta))
             })
             .collect();
         let histograms = self
             .histograms
             .iter()
-            .map(|(path, h)| {
-                let before = earlier.histograms.get(path);
-                let delta = match before {
+            .filter_map(|(path, h)| {
+                let delta = match earlier.histograms.get(path) {
                     Some(b) => h.delta_since(b),
                     None => h.clone(),
                 };
-                (path.clone(), delta)
+                (delta.count > 0).then(|| (path.clone(), delta))
             })
             .collect();
         RegistrySnapshot {
@@ -359,6 +365,24 @@ mod tests {
         assert_eq!(hw.count, 2);
         assert_eq!(hw.sum, 103);
         assert_eq!(hw.buckets, vec![(2, 1), (7, 1)]);
+    }
+
+    #[test]
+    fn delta_keeps_counters_created_after_baseline() {
+        let r = Registry::default();
+        r.counter("early.counter").add(2);
+        r.histogram("early.hist").observe(1);
+        let baseline = r.snapshot();
+        // Instruments that first appear mid-window (e.g. the first UCP
+        // walk happening after warmup) must show their full value.
+        r.counter("late.counter").add(9);
+        r.histogram("late.hist").observe(4);
+        let window = r.snapshot().delta_since(&baseline);
+        assert_eq!(window.counters.get("late.counter"), Some(&9));
+        assert_eq!(window.histograms["late.hist"].count, 1);
+        // Unmoved instruments are dropped, not reported as zero.
+        assert!(!window.counters.contains_key("early.counter"));
+        assert!(!window.histograms.contains_key("early.hist"));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`frontend`] — BTB, RAS, FTQ and the µ-op cache,
 //! * [`prefetch`] — FNL+MMA, D-JOLT, the Entangling prefetcher and MRC,
 //! * [`core`] — the cycle-level pipeline, the UCP engine, configuration,
-//!   statistics and the experiment runner.
+//!   statistics and the experiment runner,
+//! * [`telemetry`] — counters, event tracing, per-cycle accounting and
+//!   interval time-series sampling.
 //!
 //! # Quickstart
 //!
@@ -32,4 +34,5 @@ pub use ucp_core as core;
 pub use ucp_frontend as frontend;
 pub use ucp_mem as mem;
 pub use ucp_prefetch as prefetch;
+pub use ucp_telemetry as telemetry;
 pub use ucp_workloads as workloads;

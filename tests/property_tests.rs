@@ -3,10 +3,12 @@
 //! streams, and a simulator that completes with exact accounting.
 
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 use ucp_sim::bpred::{FoldSpec, HistoryState};
 use ucp_sim::core::{SimConfig, Simulator};
 use ucp_sim::frontend::{EntryEnd, UopCache, UopCacheConfig, UopEntrySpec};
 use ucp_sim::isa::Addr;
+use ucp_sim::telemetry::{AccountingBreakdown, IntervalSampler, Telemetry};
 use ucp_sim::workloads::{CondMix, Oracle, WorkloadSpec};
 
 /// An arbitrary-but-small workload recipe.
@@ -76,6 +78,37 @@ proptest! {
         prop_assert!(stats.cycles > 0);
         prop_assert!(stats.ipc() > 0.05, "IPC collapsed: {}", stats.ipc());
         prop_assert!(stats.ipc() < 10.0, "IPC impossible: {}", stats.ipc());
+    }
+
+    /// Cycle accounting holds on arbitrary workloads: every measured
+    /// cycle is charged to exactly one category (categories sum to the
+    /// independent total, which equals the measured cycle count), and the
+    /// interval samples tile the window exactly (per-counter sums over
+    /// intervals reproduce the end-of-run aggregate delta).
+    #[test]
+    fn cycle_accounting_tiles_arbitrary_runs(spec in arb_spec(), ucp in any::<bool>()) {
+        let cfg = if ucp { SimConfig::ucp() } else { SimConfig::baseline() };
+        let prog = spec.build();
+        let mut sim = Simulator::with_telemetry(&prog, spec.seed, &cfg, Telemetry::disabled());
+        // Short intervals so small runs still produce several records.
+        sim.set_interval_sampling(Some(IntervalSampler::new(2_000, 1 << 16)));
+        let out = sim.run_full(2_000, 10_000);
+
+        let breakdown = AccountingBreakdown::from_snapshot(&out.telemetry);
+        prop_assert!(breakdown.verify().is_ok(), "{:?}", breakdown.verify());
+        prop_assert_eq!(breakdown.total, out.stats.cycles);
+
+        prop_assert!(!out.intervals.is_empty());
+        let sampled_cycles: u64 = out.intervals.iter().map(|iv| iv.cycles()).sum();
+        prop_assert_eq!(sampled_cycles, out.stats.cycles);
+        let mut summed: BTreeMap<String, u64> = BTreeMap::new();
+        for iv in &out.intervals {
+            prop_assert!(iv.breakdown().verify().is_ok(), "interval {} broken", iv.index);
+            for (path, v) in &iv.counters {
+                *summed.entry(path.clone()).or_insert(0) += v;
+            }
+        }
+        prop_assert_eq!(&summed, &out.telemetry.counters);
     }
 }
 
