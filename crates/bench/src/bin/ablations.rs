@@ -10,9 +10,12 @@
 //! ```
 
 use ucp_bench::{cached_suite_run, Profile};
-use ucp_core::{geomean_speedup_pct, RunResult, SimConfig};
+use ucp_core::{align_by_workload, geomean_speedup_pct, RunResult, SimConfig};
 
 fn geo(base: &[RunResult], new: &[RunResult]) -> f64 {
+    // Degraded runs may cover different workload subsets: compare over
+    // the intersection.
+    let (base, new) = align_by_workload(base, new);
     let b: Vec<f64> = base.iter().map(|r| r.stats.ipc()).collect();
     let n: Vec<f64> = new.iter().map(|r| r.stats.ipc()).collect();
     geomean_speedup_pct(&b, &n)

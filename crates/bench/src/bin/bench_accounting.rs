@@ -53,6 +53,9 @@ fn main() {
         ("ucp", SimConfig::ucp()),
     ] {
         let (results, phase) = profiled_suite_run(name, &cfg, profile);
+        if let Some(m) = results.marker() {
+            println!("{name:<10} *** {m} — failed workloads excluded ***");
+        }
         violations.extend(check_accounting(&results));
         let b = suite_breakdown(&results);
         let share_pct = CycleCause::ALL

@@ -72,6 +72,9 @@ fn main() {
     // Suite-wide telemetry under the UCP configuration (cached like every
     // figure run; per-workload snapshots live in the result cache).
     let results = cached_suite_run(&SimConfig::ucp(), profile);
+    if let Some(m) = results.marker() {
+        println!("\n*** UCP suite run {m} — failed workloads are excluded below ***");
+    }
     let total = merged_telemetry(&results);
     println!(
         "\naggregate telemetry (UCP config, {} workloads):",
@@ -89,6 +92,9 @@ fn main() {
     // invariant (categories sum to the measured cycle total); a violation
     // fails the report so CI catches it.
     let baseline = cached_suite_run(&SimConfig::baseline(), profile);
+    if let Some(m) = baseline.marker() {
+        println!("\n*** baseline suite run {m} — failed workloads are excluded below ***");
+    }
     println!("\nstall breakdown, baseline (% of measured cycles):");
     print!("{}", stall_breakdown_table(&baseline));
     println!("\nstall breakdown, UCP (% of measured cycles):");

@@ -72,7 +72,10 @@ fn main() {
         // (cycles ≈ instructions at IPC ≈ 1).
         sim.set_interval_sampling(Some(IntervalSampler::new((measure / 200).max(100), 4096)));
     }
-    let out = sim.run_full(warmup, measure);
+    let out = sim.run_full(warmup, measure).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let (stats, window) = (out.stats, out.telemetry);
 
     let events = telemetry.tracer.events();

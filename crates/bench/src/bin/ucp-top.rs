@@ -70,6 +70,9 @@ fn main() {
         };
         let results = cached_suite_run(&cfg, profile);
         print!("{}", report(&title, &results));
+        if let Some(m) = results.marker() {
+            println!("  *** {m} — failed workloads excluded ***");
+        }
         println!();
         for v in check_accounting(&results) {
             violations.push(format!("{name}/{v}"));

@@ -2,11 +2,11 @@
 //! prints the paper's headline numbers next to the measured ones; see
 //! EXPERIMENTS.md for the recorded comparison.
 
-use crate::harness::{amean, cached_suite_run, sorted_curve, summary_line, Profile};
+use crate::harness::{amean, cached_suite_run, sorted_curve, summary_line, Profile, SuiteRun};
 use ucp_bpred::Provider;
 use ucp_core::{
-    geomean_speedup_pct, speedups_pct, ConfKind, PrefetcherKind, RunResult, SimConfig,
-    UopCacheModel,
+    align_by_workload, geomean_speedup_pct, speedups_pct, ConfKind, PrefetcherKind, RunResult,
+    SimConfig, UopCacheModel,
 };
 use ucp_frontend::UopCacheConfig;
 
@@ -17,18 +17,43 @@ fn header(id: &str, title: &str, paper: &str, profile: Profile) -> String {
     )
 }
 
+/// Per-workload speedups over the workloads present in *both* sets —
+/// degraded runs shrink the comparison instead of crashing it.
 fn per_workload_speedups(base: &[RunResult], new: &[RunResult]) -> Vec<(String, f64)> {
-    speedups_pct(base, new)
+    let (b, n) = align_by_workload(base, new);
+    speedups_pct(&b, &n)
         .into_iter()
-        .zip(base)
+        .zip(&b)
         .map(|(s, r)| (r.workload.clone(), s))
         .collect()
 }
 
 fn geomean(base: &[RunResult], new: &[RunResult]) -> f64 {
+    let (base, new) = align_by_workload(base, new);
     let b: Vec<f64> = base.iter().map(|r| r.stats.ipc()).collect();
     let n: Vec<f64> = new.iter().map(|r| r.stats.ipc()).collect();
     geomean_speedup_pct(&b, &n)
+}
+
+/// The inline ` [DEGRADED (k/n)]` row marker, empty for complete runs.
+fn mark(r: &SuiteRun) -> String {
+    r.marker().map_or(String::new(), |m| format!(" [{m}]"))
+}
+
+/// One `NOTE:` line per degraded run, naming the failed workloads and
+/// failure kinds; empty when every listed run is complete.
+fn degraded_note(runs: &[(&str, &SuiteRun)]) -> String {
+    let mut out = String::new();
+    for (tag, r) in runs {
+        if let Some(m) = r.marker() {
+            out += &format!("  NOTE: {tag} {m}:");
+            for (w, e) in &r.failures {
+                out += &format!(" `{w}` ({})", e.kind());
+            }
+            out.push('\n');
+        }
+    }
+    out
 }
 
 /// Fig. 2: IPC improvement of a 4Kops µ-op cache over no µ-op cache.
@@ -53,6 +78,7 @@ pub fn fig02(profile: Profile) -> String {
         100.0 * beneficial as f64 / vals.len() as f64,
         geomean(&no_uc, &base),
     );
+    out += &degraded_note(&[("no-uop-cache", &no_uc), ("baseline", &base)]);
     out
 }
 
@@ -83,6 +109,7 @@ pub fn fig03(profile: Profile) -> String {
     let pkis: Vec<f64> = rows.iter().map(|r| r.2).collect();
     out += &summary_line("hit rate %", &hits);
     out += &summary_line("switch PKI", &pkis);
+    out += &degraded_note(&[("baseline", &base)]);
     out
 }
 
@@ -101,20 +128,23 @@ pub fn fig04(profile: Profile) -> String {
         let r = cached_suite_run(&cfg, profile);
         let hit: Vec<f64> = r.iter().map(|x| x.stats.uop_hit_rate_pct()).collect();
         out += &format!(
-            "  {kops:>2}Kops: speedup {:+.2}%  hit rate {:.1}%\n",
+            "  {kops:>2}Kops: speedup {:+.2}%  hit rate {:.1}%{}\n",
             geomean(&base, &r),
-            amean(&hit)
+            amean(&hit),
+            mark(&r)
         );
     }
     let mut ideal = SimConfig::baseline();
     ideal.uop_cache = UopCacheModel::Ideal;
     let r = cached_suite_run(&ideal, profile);
     out += &format!(
-        "  ideal: speedup {:+.2}%  hit rate 100.0%\n",
-        geomean(&base, &r)
+        "  ideal: speedup {:+.2}%  hit rate 100.0%{}\n",
+        geomean(&base, &r),
+        mark(&r)
     );
     let base_hit: Vec<f64> = base.iter().map(|x| x.stats.uop_hit_rate_pct()).collect();
     out += &format!("  (4Kops baseline hit rate {:.1}%)\n", amean(&base_hit));
+    out += &degraded_note(&[("baseline", &base)]);
     out
 }
 
@@ -144,12 +174,18 @@ pub fn fig05(profile: Profile) -> String {
             }
             let r = cached_suite_run(&cfg, profile);
             let hit: Vec<f64> = r.iter().map(|x| x.stats.uop_hit_rate_pct()).collect();
-            row += &format!(" {:+6.2}%({:>4.1})", geomean(&baseline, &r), amean(&hit));
+            row += &format!(
+                " {:+6.2}%({:>4.1}){}",
+                geomean(&baseline, &r),
+                amean(&hit),
+                mark(&r)
+            );
         }
         out += &row;
         out.push('\n');
     }
     out += "  (each cell: geomean speedup over NONE/Base, and amean uop hit rate %)\n";
+    out += &degraded_note(&[("baseline", &baseline)]);
     out
 }
 
@@ -164,7 +200,7 @@ pub fn fig06(profile: Profile) -> String {
     );
     let base = cached_suite_run(&SimConfig::baseline(), profile);
     let mut agg: std::collections::BTreeMap<(Provider, i32), (u64, u64)> = Default::default();
-    for r in &base {
+    for r in base.iter() {
         for (&k, b) in &r.stats.provider_buckets {
             let e = agg.entry(k).or_default();
             e.0 += b.preds;
@@ -185,6 +221,7 @@ pub fn fig06(profile: Profile) -> String {
             100.0 * *misses as f64 / *preds as f64
         );
     }
+    out += &degraded_note(&[("baseline", &base)]);
     out
 }
 
@@ -199,7 +236,7 @@ pub fn fig07(profile: Profile) -> String {
     let base = cached_suite_run(&SimConfig::baseline(), profile);
     let mut misses: std::collections::BTreeMap<Provider, u64> = Default::default();
     let mut total = 0u64;
-    for r in &base {
+    for r in base.iter() {
         for (&p, b) in &r.stats.provider_totals {
             *misses.entry(p).or_default() += b.misses;
             total += b.misses;
@@ -212,6 +249,7 @@ pub fn fig07(profile: Profile) -> String {
             100.0 * m as f64 / total.max(1) as f64
         );
     }
+    out += &degraded_note(&[("baseline", &base)]);
     out
 }
 
@@ -258,7 +296,7 @@ pub fn fig09(profile: Profile) -> String {
     let base = cached_suite_run(&SimConfig::baseline(), profile);
     let mut t = ucp_core::H2pCounts::default();
     let mut u = ucp_core::H2pCounts::default();
-    for r in &base {
+    for r in base.iter() {
         t.marked += r.stats.h2p_tage.marked;
         t.marked_mispredicted += r.stats.h2p_tage.marked_mispredicted;
         t.mispredicted += r.stats.h2p_tage.mispredicted;
@@ -276,6 +314,7 @@ pub fn fig09(profile: Profile) -> String {
         u.coverage_pct(),
         u.accuracy_pct()
     );
+    out += &degraded_note(&[("baseline", &base)]);
     out
 }
 
@@ -305,6 +344,7 @@ pub fn fig10(profile: Profile) -> String {
         uu.iter().filter(|&&v| v > 0.0).count(),
         uu.len()
     );
+    out += &degraded_note(&[("no-uop-cache", &no_uc), ("baseline", &base), ("UCP", &ucp)]);
     out
 }
 
@@ -318,10 +358,11 @@ pub fn fig11(profile: Profile) -> String {
     );
     let base = cached_suite_run(&SimConfig::baseline(), profile);
     let ucp = cached_suite_run(&SimConfig::ucp(), profile);
-    let sp = speedups_pct(&base, &ucp);
+    let (ab, au) = align_by_workload(&base, &ucp);
+    let sp = speedups_pct(&ab, &au);
     let mut rows: Vec<(String, f64, f64)> = sp
         .iter()
-        .zip(&ucp)
+        .zip(&au)
         .map(|(&s, r)| (r.workload.clone(), s, r.stats.cond_mpki()))
         .collect();
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
@@ -332,6 +373,7 @@ pub fn fig11(profile: Profile) -> String {
     let mpkis: Vec<f64> = rows.iter().map(|r| r.2).collect();
     out += &summary_line("cond MPKI", &mpkis);
     out += &format!("geomean speedup {:+.2}%\n", geomean(&base, &ucp));
+    out += &degraded_note(&[("baseline", &base), ("UCP", &ucp)]);
     out
 }
 
@@ -350,7 +392,8 @@ pub fn fig12(profile: Profile) -> String {
     tage_conf_cfg.ucp.conf = ConfKind::Tage;
     let tage_conf = cached_suite_run(&tage_conf_cfg, profile);
     let sp = |r: &[RunResult]| {
-        let v = speedups_pct(&base, r);
+        let (b, n) = align_by_workload(&base, r);
+        let v = speedups_pct(&b, &n);
         let min = v.iter().copied().fold(f64::INFINITY, f64::min);
         let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         (geomean(&base, r), min, max)
@@ -361,8 +404,12 @@ pub fn fig12(profile: Profile) -> String {
         ("UCP(TAGE-Conf)", &tage_conf),
     ] {
         let (g, min, max) = sp(r);
-        out += &format!("  {name:<15} geomean {g:+.2}%  min {min:+.2}%  max {max:+.2}%\n");
+        out += &format!(
+            "  {name:<15} geomean {g:+.2}%  min {min:+.2}%  max {max:+.2}%{}\n",
+            mark(r)
+        );
     }
+    out += &degraded_note(&[("baseline", &base)]);
     out
 }
 
@@ -393,6 +440,7 @@ pub fn fig13(profile: Profile) -> String {
         amean(&u),
         amean(&lines_per_walk)
     );
+    out += &degraded_note(&[("baseline", &base), ("UCP", &ucp)]);
     out
 }
 
@@ -419,6 +467,7 @@ pub fn fig14(profile: Profile) -> String {
         .collect();
     out += &summary_line("accuracy %", &acc);
     out += &summary_line("late-use %", &late);
+    out += &degraded_note(&[("UCP", &ucp)]);
     out
 }
 
@@ -444,11 +493,14 @@ pub fn fig15(profile: Profile) -> String {
         let r_u = cached_suite_run(&ucp, profile);
         let r_l = cached_suite_run(&l1i, profile);
         out += &format!(
-            "  {thr:>9} {:>+11.2}% {:>+11.2}%\n",
+            "  {thr:>9} {:>+11.2}% {:>+11.2}%{}{}\n",
             geomean(&base, &r_u),
-            geomean(&base, &r_l)
+            geomean(&base, &r_l),
+            mark(&r_u),
+            mark(&r_l)
         );
     }
+    out += &degraded_note(&[("baseline", &base)]);
     out
 }
 
@@ -511,11 +563,13 @@ pub fn fig16(profile: Profile) -> String {
     for (name, cfg) in points {
         let r = cached_suite_run(&cfg, profile);
         out += &format!(
-            "  {name:<20} {:>10.2} {:>+9.2}%\n",
+            "  {name:<20} {:>10.2} {:>+9.2}%{}\n",
             cfg.extra_storage_kb(),
-            geomean(&base, &r)
+            geomean(&base, &r),
+            mark(&r)
         );
     }
+    out += &degraded_note(&[("baseline", &base)]);
     out
 }
 
@@ -544,7 +598,7 @@ pub fn timeseries(profile: Profile) -> String {
         }
         let mut written = 0usize;
         let mut records = 0usize;
-        for r in &results {
+        for r in results.iter() {
             if r.intervals.is_empty() {
                 continue; // cached before sampling existed, or sampling off
             }
@@ -647,8 +701,9 @@ pub fn table_artifact(profile: Profile) -> String {
     }
     for (name, cfg) in variants {
         let r = cached_suite_run(&cfg, profile);
-        out += &format!("  {name:<22} {:+.2}%\n", geomean(&base, &r));
+        out += &format!("  {name:<22} {:+.2}%{}\n", geomean(&base, &r), mark(&r));
     }
+    out += &degraded_note(&[("baseline", &base)]);
     out
 }
 

@@ -1,9 +1,12 @@
-//! Shared harness plumbing: profiles, the result cache, host-side
-//! self-profiling, and formatting.
+//! Shared harness plumbing: profiles, the fault-isolated resumable
+//! result cache, host-side self-profiling, and formatting.
 
-use std::path::PathBuf;
+use crate::cache::{quarantine, read_envelope, write_envelope, CacheReadError};
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
-use ucp_core::{run_suite, RunResult, SimConfig};
+use ucp_core::{run_suite_outcome, RunResult, SimConfig, SimError, SuiteOptions};
+use ucp_telemetry::fault::global_plan;
 use ucp_telemetry::AccountingBreakdown;
 use ucp_workloads::suite::{quick_suite, workload_suite};
 use ucp_workloads::WorkloadSpec;
@@ -20,13 +23,41 @@ pub enum Profile {
 }
 
 impl Profile {
-    /// Reads `UCP_FIG_PROFILE` (default `std`).
-    pub fn from_env() -> Self {
-        match std::env::var("UCP_FIG_PROFILE").as_deref() {
-            Ok("quick") => Profile::Quick,
-            Ok("full") => Profile::Full,
-            _ => Profile::Std,
+    /// Parses a profile tag.
+    ///
+    /// # Errors
+    ///
+    /// An unknown tag is a hard error listing the valid tags — a typo'd
+    /// `UCP_FIG_PROFILE` must not silently simulate the (much slower)
+    /// default profile.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "quick" => Ok(Profile::Quick),
+            "std" => Ok(Profile::Std),
+            "full" => Ok(Profile::Full),
+            other => Err(format!(
+                "UCP_FIG_PROFILE=`{other}` is not a profile; valid tags: quick, std, full"
+            )),
         }
+    }
+
+    /// Reads `UCP_FIG_PROFILE` (default `std`); unknown tags are an
+    /// error.
+    pub fn from_env_checked() -> Result<Self, String> {
+        match std::env::var("UCP_FIG_PROFILE") {
+            Err(_) => Ok(Profile::Std),
+            Ok(s) if s.trim().is_empty() => Ok(Profile::Std),
+            Ok(s) => Profile::parse(s.trim()),
+        }
+    }
+
+    /// [`Profile::from_env_checked`] for binaries: prints the error and
+    /// exits with status 2 on a malformed environment.
+    pub fn from_env() -> Self {
+        Profile::from_env_checked().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// The workload suite for this profile.
@@ -57,9 +88,10 @@ impl Profile {
 }
 
 /// Bump when a model-affecting code change invalidates cached results.
-/// (v2: results now carry cycle accounting and interval time series, so
-/// caches written before those existed must repopulate.)
-pub const MODEL_VERSION: u32 = 2;
+/// (v2: results gained cycle accounting and interval time series; v3:
+/// entries moved into the integrity envelope, which also carries this
+/// version — stale entries now quarantine instead of silently orphaning.)
+pub const MODEL_VERSION: u32 = 3;
 
 fn cache_dir() -> PathBuf {
     std::env::var("UCP_RESULT_DIR")
@@ -67,72 +99,280 @@ fn cache_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("target/ucp-results"))
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+use crate::cache::fnv1a;
+
+/// A suite's results plus how the run got them: complete or degraded,
+/// fresh or resumed. Derefs to the *successful* results (in suite order),
+/// so aggregation code written for `Vec<RunResult>` keeps working; the
+/// failure records ride alongside for report markers.
+#[derive(Debug, Default)]
+pub struct SuiteRun {
+    results: Vec<RunResult>,
+    /// Workloads that failed every attempt: `(name, final error)`.
+    pub failures: Vec<(String, SimError)>,
+    /// Suite size (`results.len() + failures.len()`).
+    pub total: usize,
+    /// How many results were resumed from partial persistence instead of
+    /// simulated in this invocation.
+    pub resumed: usize,
 }
 
-/// Writes `text` to `path` atomically: a unique temp file in the same
-/// directory, then a rename. Concurrent figure binaries sharing a cache
-/// entry can otherwise interleave a read with a partial write.
-fn write_atomic(path: &std::path::Path, text: &str) -> std::io::Result<()> {
-    let dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
-    let tmp = dir.join(format!(
-        ".{}.{}.tmp",
-        path.file_name().and_then(|n| n.to_str()).unwrap_or("cache"),
-        std::process::id()
-    ));
-    std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, path).inspect_err(|_| {
-        let _ = std::fs::remove_file(&tmp);
-    })
+impl Deref for SuiteRun {
+    type Target = [RunResult];
+    fn deref(&self) -> &[RunResult] {
+        &self.results
+    }
+}
+
+impl SuiteRun {
+    /// Wraps a complete, trusted result set (cache hits, tests).
+    pub fn complete(results: Vec<RunResult>) -> Self {
+        let total = results.len();
+        SuiteRun {
+            results,
+            failures: Vec::new(),
+            total,
+            resumed: 0,
+        }
+    }
+
+    /// The successful results, in suite order.
+    pub fn results(&self) -> &[RunResult] {
+        &self.results
+    }
+
+    /// True when every workload produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The `DEGRADED (k/n)` report marker, or `None` when complete.
+    pub fn marker(&self) -> Option<String> {
+        (!self.is_complete()).then(|| format!("DEGRADED ({}/{})", self.results.len(), self.total))
+    }
+}
+
+/// The fault-isolated, resumable, integrity-checked suite runner behind
+/// [`cached_suite_run`], parameterized over the cache directory so tests
+/// can use private directories instead of racing on the environment.
+///
+/// Cache layout under `dir`:
+///
+/// - `<key>.json` — the complete suite result set, enveloped
+///   (written only when every workload succeeded);
+/// - `partial-<key>/NN-<workload>.json` — per-workload results, enveloped,
+///   persisted as each workload finishes so a killed run resumes instead
+///   of re-simulating (cleared once the combined entry lands);
+/// - `*.quarantined.*` — entries that failed integrity verification,
+///   moved aside for debugging and regenerated.
+///
+/// # Errors
+///
+/// [`SimError::BadConfig`] for malformed environment knobs. Per-workload
+/// failures do not error — they degrade the returned [`SuiteRun`].
+pub fn suite_run_with_cache(
+    cfg: &SimConfig,
+    suite: &[WorkloadSpec],
+    warmup: u64,
+    measure: u64,
+    dir: &Path,
+    opts: &SuiteOptions,
+    use_cache: bool,
+) -> Result<SuiteRun, SimError> {
+    let bad = |detail: String| SimError::BadConfig { detail };
+    // Cached results embed the interval series sampled at whatever
+    // UCP_INTERVAL was active when the cache was populated, so the
+    // effective interval is part of the key (0 = sampling off).
+    let interval = ucp_telemetry::IntervalSampler::from_env()
+        .map_err(bad)?
+        .map_or(0, |s| s.every());
+    let fault = match opts.fault.clone() {
+        Some(p) => Some(p),
+        None => global_plan().map_err(bad)?,
+    };
+    let cfg_json = serde_json::to_string(cfg).expect("config serializes");
+    let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+    let key = format!("{cfg_json}|{names:?}|{warmup}|{measure}|iv{interval}");
+    let key = format!("{:016x}", fnv1a(key.as_bytes()));
+    let combined = dir.join(format!("{key}.json"));
+    let partial_dir = dir.join(format!("partial-{key}"));
+
+    if use_cache {
+        if let Some(results) = load_combined(&combined, suite) {
+            return Ok(SuiteRun::complete(results));
+        }
+    }
+
+    // Resume: adopt verified per-workload partials from a previous run.
+    let mut prefilled: Vec<Option<RunResult>> = vec![None; suite.len()];
+    if use_cache {
+        for (i, spec) in suite.iter().enumerate() {
+            prefilled[i] = load_partial(&partial_path(&partial_dir, i, spec), &spec.name);
+        }
+    }
+    let resumed = prefilled.iter().flatten().count();
+
+    let persist_fault = fault.clone();
+    let persist = |i: usize, r: &RunResult| {
+        if std::fs::create_dir_all(&partial_dir).is_err() {
+            return;
+        }
+        if let Ok(text) = serde_json::to_string(r) {
+            let _ = write_envelope(
+                &partial_path(&partial_dir, i, &suite[i]),
+                MODEL_VERSION,
+                &text,
+                persist_fault.as_deref(),
+            );
+        }
+    };
+    let run_opts = SuiteOptions {
+        prefilled,
+        fault,
+        ..opts.clone()
+    };
+    let outcome = run_suite_outcome(
+        suite,
+        cfg,
+        warmup,
+        measure,
+        &run_opts,
+        use_cache.then_some(&persist as ucp_core::PersistFn<'_>),
+    )?;
+
+    let total = outcome.total();
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for o in outcome.outcomes {
+        match o.outcome {
+            Ok(r) => results.push(r),
+            Err(e) => failures.push((o.workload, e)),
+        }
+    }
+    let run = SuiteRun {
+        results,
+        failures,
+        total,
+        resumed,
+    };
+    if use_cache && run.is_complete() {
+        let _ = std::fs::create_dir_all(dir);
+        if let Ok(text) = serde_json::to_string(&run.results) {
+            let _ = write_envelope(&combined, MODEL_VERSION, &text, run_opts.fault.as_deref());
+        }
+        // The combined entry supersedes the partials.
+        let _ = std::fs::remove_dir_all(&partial_dir);
+    }
+    Ok(run)
+}
+
+fn partial_path(partial_dir: &Path, i: usize, spec: &WorkloadSpec) -> PathBuf {
+    partial_dir.join(format!("{i:02}-{}.json", spec.name))
+}
+
+/// Loads and verifies the combined cache entry; quarantines anything
+/// corrupt or misaligned (wrong suite length/order — a key collision or
+/// a stale layout) and reports a miss.
+fn load_combined(path: &Path, suite: &[WorkloadSpec]) -> Option<Vec<RunResult>> {
+    match read_envelope(path, MODEL_VERSION) {
+        Ok(payload) => match serde_json::from_str::<Vec<RunResult>>(&payload) {
+            Ok(results)
+                if results.len() == suite.len()
+                    && results.iter().zip(suite).all(|(r, s)| r.workload == s.name) =>
+            {
+                Some(results)
+            }
+            Ok(_) => {
+                eprintln!(
+                    "warning: cache entry {} does not match the suite; quarantining",
+                    path.display()
+                );
+                quarantine(path);
+                None
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: cache entry {} holds unparseable payload ({e}); quarantining",
+                    path.display()
+                );
+                quarantine(path);
+                None
+            }
+        },
+        Err(CacheReadError::Missing) => None,
+        Err(CacheReadError::Corrupt(why)) => {
+            eprintln!(
+                "warning: cache entry {} is corrupt ({why}); quarantining",
+                path.display()
+            );
+            quarantine(path);
+            None
+        }
+    }
+}
+
+/// Loads and verifies one per-workload partial; quarantines corrupt or
+/// misnamed entries and reports a miss (the workload just re-simulates).
+fn load_partial(path: &Path, expect_workload: &str) -> Option<RunResult> {
+    match read_envelope(path, MODEL_VERSION) {
+        Ok(payload) => match serde_json::from_str::<RunResult>(&payload) {
+            Ok(r) if r.workload == expect_workload => Some(r),
+            _ => {
+                eprintln!(
+                    "warning: partial result {} is unusable; quarantining",
+                    path.display()
+                );
+                quarantine(path);
+                None
+            }
+        },
+        Err(CacheReadError::Missing) => None,
+        Err(CacheReadError::Corrupt(why)) => {
+            eprintln!(
+                "warning: partial result {} is corrupt ({why}); quarantining",
+                path.display()
+            );
+            quarantine(path);
+            None
+        }
+    }
+}
+
+/// [`cached_suite_run`] without the exit-on-error wrapper, for callers
+/// that handle [`SimError`] themselves.
+///
+/// # Errors
+///
+/// [`SimError::BadConfig`] for malformed environment knobs.
+pub fn try_cached_suite_run(cfg: &SimConfig, profile: Profile) -> Result<SuiteRun, SimError> {
+    let suite = profile.suite();
+    let (warmup, measure) = profile.lengths();
+    let use_cache = std::env::var("UCP_NO_CACHE").is_err();
+    suite_run_with_cache(
+        cfg,
+        &suite,
+        warmup,
+        measure,
+        &cache_dir(),
+        &SuiteOptions::default(),
+        use_cache,
+    )
 }
 
 /// Runs `cfg` over the profile's suite, caching results on disk. The cache
 /// key covers the full configuration, the suite composition and the run
-/// lengths, so distinct experiments never collide.
-pub fn cached_suite_run(cfg: &SimConfig, profile: Profile) -> Vec<RunResult> {
-    let suite = profile.suite();
-    let (warmup, measure) = profile.lengths();
-    let cfg_json = serde_json::to_string(cfg).expect("config serializes");
-    let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
-    // Cached results embed the interval series sampled at whatever
-    // UCP_INTERVAL was active when the cache was populated, so the
-    // effective interval is part of the key (0 = sampling off).
-    let interval = ucp_telemetry::IntervalSampler::from_env().map_or(0, |s| s.every());
-    let key = if MODEL_VERSION == 1 {
-        format!("{cfg_json}|{names:?}|{warmup}|{measure}")
-    } else {
-        format!("{cfg_json}|{names:?}|{warmup}|{measure}|v{MODEL_VERSION}|iv{interval}")
-    };
-    let path = cache_dir().join(format!("{:016x}.json", fnv1a(key.as_bytes())));
-    let no_cache = std::env::var("UCP_NO_CACHE").is_ok();
-    if !no_cache {
-        if let Ok(text) = std::fs::read_to_string(&path) {
-            if let Ok(results) = serde_json::from_str::<Vec<RunResult>>(&text) {
-                if results.len() == suite.len()
-                    && results
-                        .iter()
-                        .zip(&suite)
-                        .all(|(r, s)| r.workload == s.name)
-                {
-                    return results;
-                }
-            }
-        }
+/// lengths, so distinct experiments never collide. Workload failures
+/// degrade the returned [`SuiteRun`] (see [`SuiteRun::marker`]); only a
+/// malformed environment terminates the process (exit 2).
+pub fn cached_suite_run(cfg: &SimConfig, profile: Profile) -> SuiteRun {
+    let run = try_cached_suite_run(cfg, profile).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    for (name, e) in &run.failures {
+        eprintln!("warning: workload `{name}` failed: {e}");
     }
-    let results = run_suite(&suite, cfg, warmup, measure);
-    if !no_cache {
-        let _ = std::fs::create_dir_all(cache_dir());
-        if let Ok(text) = serde_json::to_string(&results) {
-            let _ = write_atomic(&path, &text);
-        }
-    }
-    results
+    run
 }
 
 /// Sums the per-workload telemetry snapshots of a result set into one
@@ -207,24 +447,50 @@ impl HostPhase {
 /// Runs `cfg` over the profile's suite with the host-side wall clock
 /// running — always uncached, since a cache hit would time disk I/O
 /// instead of simulation. The returned [`HostPhase`] sums the measured
-/// windows of every workload in the suite.
-pub fn profiled_suite_run(
-    name: &str,
-    cfg: &SimConfig,
-    profile: Profile,
-) -> (Vec<RunResult>, HostPhase) {
+/// windows of every *successful* workload; failures degrade the
+/// [`SuiteRun`] as in [`cached_suite_run`].
+pub fn profiled_suite_run(name: &str, cfg: &SimConfig, profile: Profile) -> (SuiteRun, HostPhase) {
     let suite = profile.suite();
     let (warmup, measure) = profile.lengths();
     let t0 = Instant::now();
-    let results = run_suite(&suite, cfg, warmup, measure);
+    let outcome = run_suite_outcome(
+        &suite,
+        cfg,
+        warmup,
+        measure,
+        &ucp_core::SuiteOptions::default(),
+        None,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let wall_seconds = t0.elapsed().as_secs_f64();
+    let total = outcome.total();
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for o in outcome.outcomes {
+        match o.outcome {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                eprintln!("warning: workload `{}` failed: {e}", o.workload);
+                failures.push((o.workload, e));
+            }
+        }
+    }
+    let run = SuiteRun {
+        results,
+        failures,
+        total,
+        resumed: 0,
+    };
     let phase = HostPhase {
         name: name.to_string(),
         wall_seconds,
-        instructions: results.iter().map(|r| r.stats.instructions).sum(),
-        cycles: results.iter().map(|r| r.stats.cycles).sum(),
+        instructions: run.iter().map(|r| r.stats.instructions).sum(),
+        cycles: run.iter().map(|r| r.stats.cycles).sum(),
     };
-    (results, phase)
+    (run, phase)
 }
 
 /// Renders a per-workload stall-breakdown table: one row per workload with
@@ -328,23 +594,41 @@ mod tests {
     }
 
     #[test]
-    fn write_atomic_replaces_and_cleans_up() {
-        let dir = std::env::temp_dir().join(format!("ucp-harness-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("cache.json");
-        std::fs::write(&path, "old").unwrap();
-        write_atomic(&path, "new contents").unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new contents");
-        let leftovers: Vec<_> = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(|e| e.ok())
-            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
-            .collect();
-        assert!(
-            leftovers.is_empty(),
-            "temp file must not survive the rename"
-        );
-        let _ = std::fs::remove_dir_all(&dir);
+    fn profile_parse_rejects_unknown_tags() {
+        assert_eq!(Profile::parse("quick").unwrap(), Profile::Quick);
+        assert_eq!(Profile::parse("full").unwrap(), Profile::Full);
+        let e = Profile::parse("fast").unwrap_err();
+        assert!(e.contains("quick, std, full"), "error lists tags: {e}");
+        assert!(Profile::parse("Quick").is_err(), "tags are case-sensitive");
+    }
+
+    #[test]
+    fn suite_run_marker_reports_degradation() {
+        use ucp_core::SimStats;
+        let ok = RunResult {
+            workload: "a".into(),
+            stats: SimStats::default(),
+            telemetry: ucp_telemetry::RegistrySnapshot::default(),
+            intervals: Vec::new(),
+        };
+        let complete = SuiteRun::complete(vec![ok.clone()]);
+        assert!(complete.is_complete());
+        assert_eq!(complete.marker(), None);
+        let degraded = SuiteRun {
+            results: vec![ok],
+            failures: vec![(
+                "b".into(),
+                SimError::WorkloadPanic {
+                    workload: "b".into(),
+                    payload: "boom".into(),
+                },
+            )],
+            total: 2,
+            resumed: 0,
+        };
+        assert_eq!(degraded.marker().as_deref(), Some("DEGRADED (1/2)"));
+        // Deref exposes only the successful results.
+        assert_eq!(degraded.len(), 1);
     }
 
     #[test]

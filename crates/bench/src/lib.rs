@@ -18,11 +18,23 @@
 //! Suite runs are cached under `target/ucp-results` keyed by
 //! configuration + profile, so reruns and figure interdependencies (many
 //! figures share the baseline) are free. Set `UCP_NO_CACHE=1` to disable.
+//!
+//! # Resilience
+//!
+//! Suite execution is fault-isolated: a panicking, hanging or
+//! invariant-violating workload degrades the run (reports carry a
+//! `DEGRADED (k/n)` marker) instead of killing it; per-workload results
+//! persist incrementally so a killed run resumes; and every cache entry
+//! is integrity-checked (checksum + model version), with corrupt entries
+//! quarantined and regenerated. See [`cache`] and
+//! `ucp_core::run_suite_outcome`.
 
+pub mod cache;
 pub mod figs;
 pub mod harness;
 
 pub use harness::{
     cached_suite_run, check_accounting, merged_telemetry, profiled_suite_run,
-    stall_breakdown_table, suite_breakdown, HostPhase, Profile,
+    stall_breakdown_table, suite_breakdown, suite_run_with_cache, try_cached_suite_run, HostPhase,
+    Profile, SuiteRun, MODEL_VERSION,
 };

@@ -1,13 +1,19 @@
 //! Experiment runner: runs configurations over workload suites, in
-//! parallel across workloads, deterministically.
+//! parallel across workloads, deterministically — and fault-isolated:
+//! one panicking, hanging or invariant-violating workload degrades the
+//! suite instead of killing it.
 
 use crate::config::SimConfig;
-use crate::pipeline::Simulator;
+use crate::error::{watchdog_from_env, SimError};
+use crate::pipeline::{RunOutput, Simulator};
 use crate::stats::SimStats;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use ucp_telemetry::fault::{global_plan, FaultPlan};
 use ucp_telemetry::interval::IntervalRecord;
+use ucp_telemetry::IntervalSampler;
 use ucp_telemetry::RegistrySnapshot;
 use ucp_workloads::WorkloadSpec;
 
@@ -36,6 +42,11 @@ pub fn run_lengths(scale: f64) -> (u64, u64) {
     (warmup, measure)
 }
 
+/// Per-workload persistence hook for [`run_suite_outcome`]: invoked from
+/// the worker thread with the workload's suite index and result as soon
+/// as it completes.
+pub type PersistFn<'a> = &'a (dyn Fn(usize, &RunResult) + Sync);
+
 /// One workload's result under one configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunResult {
@@ -54,7 +65,200 @@ pub struct RunResult {
     pub intervals: Vec<IntervalRecord>,
 }
 
-/// Runs `cfg` over every workload in `suite`, in parallel, deterministically.
+/// How [`run_suite_outcome`] isolates, retries and resumes workloads.
+#[derive(Clone, Default)]
+pub struct SuiteOptions {
+    /// Attempts per workload before giving up (0 or unset → 3). Only
+    /// retryable failures ([`SimError::is_retryable`]) consume retries;
+    /// deterministic ones fail on the first attempt.
+    pub max_attempts: u32,
+    /// Base of the exponential retry backoff in milliseconds
+    /// (`base << (attempt − 1)`); 0 disables sleeping (tests).
+    pub backoff_base_ms: u64,
+    /// Resume support: slots already holding a result (from a previous,
+    /// partially-persisted run) are not re-simulated. Shorter than the
+    /// suite means the tail is unfilled.
+    pub prefilled: Vec<Option<RunResult>>,
+    /// Explicit fault plan (tests). `None` falls back to the
+    /// process-global `UCP_FAULT` plan.
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Hang-watchdog override: `Some(w)` replaces the `UCP_WATCHDOG`
+    /// window on every simulator this run builds (`Some(None)`
+    /// disables it).
+    pub watchdog: Option<Option<u64>>,
+}
+
+impl SuiteOptions {
+    fn attempts(&self) -> u32 {
+        if self.max_attempts == 0 {
+            3
+        } else {
+            self.max_attempts
+        }
+    }
+}
+
+/// One workload's fate after isolation and retries.
+#[derive(Debug)]
+pub struct WorkloadOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// Attempts spent (1 = first try succeeded; 0 = prefilled/resumed).
+    pub attempts: u32,
+    /// The result, or the error from the final attempt.
+    pub outcome: Result<RunResult, SimError>,
+}
+
+/// A whole suite's fate: every workload accounted for, in suite order,
+/// whether it succeeded, was resumed from a previous run, or failed.
+#[derive(Debug, Default)]
+pub struct SuiteOutcome {
+    /// Per-workload outcomes, in suite order.
+    pub outcomes: Vec<WorkloadOutcome>,
+}
+
+impl SuiteOutcome {
+    /// Workloads that produced a result.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.outcome.is_ok()).count()
+    }
+
+    /// Suite size.
+    pub fn total(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True when every workload completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed() == self.total()
+    }
+
+    /// The failures, as `(suite index, error)`.
+    pub fn failures(&self) -> Vec<(usize, &SimError)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.outcome.as_ref().err().map(|e| (i, e)))
+            .collect()
+    }
+
+    /// All results when complete; the first failure otherwise.
+    pub fn into_results(self) -> Result<Vec<RunResult>, SimError> {
+        self.outcomes
+            .into_iter()
+            .map(|o| o.outcome)
+            .collect::<Result<Vec<_>, _>>()
+    }
+}
+
+/// Salt for deterministic retry re-seeding: attempt `k ≥ 2` of a
+/// retryable failure perturbs the workload seed by `salt · (k − 1)`, so
+/// a seed-sensitive corner (or an injected transient fault) gets a
+/// genuinely different roll while staying reproducible.
+const RESEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Checks every environment knob a suite run depends on *before*
+/// simulating anything, so a typo'd `UCP_WATCHDOG` is one clean
+/// [`SimError::BadConfig`] instead of a panic inside a worker thread.
+fn validate_env() -> Result<Option<Arc<FaultPlan>>, SimError> {
+    watchdog_from_env().map_err(|detail| SimError::BadConfig { detail })?;
+    IntervalSampler::from_env().map_err(|detail| SimError::BadConfig { detail })?;
+    global_plan().map_err(|detail| SimError::BadConfig { detail })
+}
+
+/// One attempt at one workload, with the fault-injection hooks armed.
+/// Panics (including injected ones) unwind to the caller's
+/// `catch_unwind`.
+fn run_one_attempt(
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    warmup: u64,
+    measure: u64,
+    fault: Option<&FaultPlan>,
+    index: usize,
+    watchdog: Option<Option<u64>>,
+) -> Result<RunOutput, SimError> {
+    if fault.is_some_and(|p| p.armed_at("panic", index)) {
+        panic!("injected fault: panic at suite index {index}");
+    }
+    let prog = spec.build();
+    let mut sim = Simulator::new(&prog, spec.seed, cfg);
+    if let Some(w) = watchdog {
+        sim.set_watchdog(w);
+    }
+    if fault.is_some_and(|p| p.armed_at("hang", index)) {
+        sim.inject_hang();
+    }
+    if fault.is_some_and(|p| p.armed_at("invariant", index)) {
+        sim.inject_invariant_skew();
+    }
+    sim.run_full(warmup, measure)
+}
+
+/// Runs one workload to its final outcome: isolation boundary
+/// (`catch_unwind`), bounded retries with exponential backoff, and
+/// deterministic re-seeding on attempts ≥ 2.
+fn run_one_isolated(
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    warmup: u64,
+    measure: u64,
+    index: usize,
+    opts: &SuiteOptions,
+    fault: Option<&FaultPlan>,
+) -> WorkloadOutcome {
+    let max_attempts = opts.attempts();
+    let mut attempt = 0;
+    let outcome = loop {
+        attempt += 1;
+        if attempt > 1 && opts.backoff_base_ms > 0 {
+            let ms = opts.backoff_base_ms << (attempt - 2).min(16);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        let mut spec = spec.clone();
+        if attempt > 1 {
+            spec.seed ^= RESEED_SALT.wrapping_mul(attempt as u64 - 1);
+        }
+        let attempt_result = catch_unwind(AssertUnwindSafe(|| {
+            run_one_attempt(&spec, cfg, warmup, measure, fault, index, opts.watchdog)
+        }))
+        .unwrap_or_else(|payload| {
+            let payload = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            Err(SimError::WorkloadPanic {
+                workload: String::new(),
+                payload,
+            })
+        });
+        match attempt_result {
+            Ok(out) => {
+                break Ok(RunResult {
+                    workload: spec.name.clone(),
+                    stats: out.stats,
+                    telemetry: out.telemetry,
+                    intervals: out.intervals,
+                })
+            }
+            Err(e) => {
+                let e = e.for_workload(&spec.name);
+                if !e.is_retryable() || attempt >= max_attempts {
+                    break Err(e);
+                }
+            }
+        }
+    };
+    WorkloadOutcome {
+        workload: spec.name.clone(),
+        attempts: attempt,
+        outcome,
+    }
+}
+
+/// Runs `cfg` over every workload in `suite`, in parallel,
+/// deterministically, with per-workload fault isolation.
 ///
 /// A pool of `min(available_parallelism, suite.len())` workers pulls
 /// workload indices from a shared atomic cursor, so a slow workload never
@@ -62,39 +266,85 @@ pub struct RunResult {
 /// writes into the slot matching its workload's suite index, so results
 /// come back in suite order (and with per-workload determinism) regardless
 /// of completion order — duplicate workload names included.
-pub fn run_suite(
+///
+/// Each workload runs behind a `catch_unwind` isolation boundary with
+/// bounded retries ([`SuiteOptions::max_attempts`]); `persist`, when
+/// given, is invoked from the worker as soon as a workload completes, so
+/// a killed process loses at most the in-flight workloads (crash-resume
+/// via [`SuiteOptions::prefilled`]).
+///
+/// # Errors
+///
+/// Only configuration problems fail the whole suite
+/// ([`SimError::BadConfig`], checked before any simulation). Per-workload
+/// failures land in the returned [`SuiteOutcome`].
+pub fn run_suite_outcome(
     suite: &[WorkloadSpec],
     cfg: &SimConfig,
     warmup: u64,
     measure: u64,
-) -> Vec<RunResult> {
+    opts: &SuiteOptions,
+    persist: Option<PersistFn<'_>>,
+) -> Result<SuiteOutcome, SimError> {
+    let env_plan = validate_env()?;
+    let fault = opts.fault.clone().or(env_plan);
+    let fault = fault.as_deref();
     let max_par = std::thread::available_parallelism().map_or(4, |n| n.get());
     let workers = max_par.max(1).min(suite.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunResult>>> = (0..suite.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<WorkloadOutcome>>> =
+        (0..suite.len()).map(|_| Mutex::new(None)).collect();
+    for (i, r) in opts.prefilled.iter().enumerate().take(suite.len()) {
+        if let Some(r) = r {
+            *slots[i].lock().expect("result slot poisoned") = Some(WorkloadOutcome {
+                workload: r.workload.clone(),
+                attempts: 0,
+                outcome: Ok(r.clone()),
+            });
+        }
+    }
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = suite.get(i) else { break };
-                let out = Simulator::run_spec_output(spec, cfg, warmup, measure);
-                *slots[i].lock().expect("result slot poisoned") = Some(RunResult {
-                    workload: spec.name.clone(),
-                    stats: out.stats,
-                    telemetry: out.telemetry,
-                    intervals: out.intervals,
-                });
+                if slots[i].lock().expect("result slot poisoned").is_some() {
+                    continue; // resumed from a previous run
+                }
+                let outcome = run_one_isolated(spec, cfg, warmup, measure, i, opts, fault);
+                if let (Some(persist), Ok(r)) = (persist, &outcome.outcome) {
+                    persist(i, r);
+                }
+                *slots[i].lock().expect("result slot poisoned") = Some(outcome);
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result slot poisoned")
-                .expect("all slots filled")
-        })
-        .collect()
+    Ok(SuiteOutcome {
+        outcomes: slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("all slots filled")
+            })
+            .collect(),
+    })
+}
+
+/// Runs `cfg` over every workload in `suite` with default isolation
+/// options, returning the results only if every workload completed.
+///
+/// # Errors
+///
+/// [`SimError::BadConfig`] for malformed environment knobs, or the first
+/// per-workload failure that survived retries.
+pub fn run_suite(
+    suite: &[WorkloadSpec],
+    cfg: &SimConfig,
+    warmup: u64,
+    measure: u64,
+) -> Result<Vec<RunResult>, SimError> {
+    run_suite_outcome(suite, cfg, warmup, measure, &SuiteOptions::default(), None)?.into_results()
 }
 
 /// Per-workload IPCs from a result set.
@@ -118,17 +368,47 @@ pub fn speedups_pct(base: &[RunResult], new: &[RunResult]) -> Vec<f64> {
         .collect()
 }
 
+/// Pairs two (possibly degraded) result sets by workload name, in `base`
+/// order, dropping workloads present in only one set. Duplicate names
+/// pair positionally (first unmatched `new` occurrence wins), matching
+/// the suite runner's slot semantics. The returned sets satisfy
+/// [`speedups_pct`]'s alignment requirement by construction.
+pub fn align_by_workload(
+    base: &[RunResult],
+    new: &[RunResult],
+) -> (Vec<RunResult>, Vec<RunResult>) {
+    let mut taken = vec![false; new.len()];
+    let mut b_out = Vec::new();
+    let mut n_out = Vec::new();
+    for b in base {
+        let hit = new
+            .iter()
+            .enumerate()
+            .find(|(j, n)| !taken[*j] && n.workload == b.workload);
+        if let Some((j, n)) = hit {
+            taken[j] = true;
+            b_out.push(b.clone());
+            n_out.push(n.clone());
+        }
+    }
+    (b_out, n_out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ucp_workloads::WorkloadSpec;
 
+    fn suite_ok(suite: &[WorkloadSpec], cfg: &SimConfig, w: u64, m: u64) -> Vec<RunResult> {
+        run_suite(suite, cfg, w, m).expect("suite run failed")
+    }
+
     #[test]
     fn run_suite_preserves_order_and_determinism() {
         let suite = vec![WorkloadSpec::tiny("a", 1), WorkloadSpec::tiny("b", 2)];
         let cfg = SimConfig::baseline();
-        let r1 = run_suite(&suite, &cfg, 5_000, 20_000);
-        let r2 = run_suite(&suite, &cfg, 5_000, 20_000);
+        let r1 = suite_ok(&suite, &cfg, 5_000, 20_000);
+        let r2 = suite_ok(&suite, &cfg, 5_000, 20_000);
         assert_eq!(r1[0].workload, "a");
         assert_eq!(r1[1].workload, "b");
         assert_eq!(r1[0].stats.cycles, r2[0].stats.cycles, "deterministic");
@@ -145,7 +425,7 @@ mod tests {
             WorkloadSpec::tiny("other", 4),
         ];
         let cfg = SimConfig::baseline();
-        let r = run_suite(&suite, &cfg, 5_000, 20_000);
+        let r = suite_ok(&suite, &cfg, 5_000, 20_000);
         assert_eq!(r.len(), 4);
         assert_eq!(r[3].workload, "other");
         // Each slot must hold its own seed's run: seeds 1..3 diverge.
@@ -161,7 +441,7 @@ mod tests {
     #[test]
     fn run_suite_results_carry_telemetry() {
         let suite = vec![WorkloadSpec::tiny("a", 1)];
-        let r = run_suite(&suite, &SimConfig::baseline(), 5_000, 20_000);
+        let r = suite_ok(&suite, &SimConfig::baseline(), 5_000, 20_000);
         let snap = &r[0].telemetry;
         assert!(!snap.is_empty(), "measurement window should tick counters");
         assert!(snap.counters.contains_key("frontend.uopc.hits"));
@@ -198,10 +478,133 @@ mod tests {
     #[test]
     fn speedups_align_by_name() {
         let suite = vec![WorkloadSpec::tiny("a", 3)];
-        let base = run_suite(&suite, &SimConfig::no_uop_cache(), 5_000, 20_000);
-        let with = run_suite(&suite, &SimConfig::baseline(), 5_000, 20_000);
+        let base = suite_ok(&suite, &SimConfig::no_uop_cache(), 5_000, 20_000);
+        let with = suite_ok(&suite, &SimConfig::baseline(), 5_000, 20_000);
         let s = speedups_pct(&base, &with);
         assert_eq!(s.len(), 1);
+    }
+
+    fn fake_result(name: &str, cycles: u64) -> RunResult {
+        RunResult {
+            workload: name.into(),
+            stats: SimStats {
+                cycles,
+                instructions: cycles,
+                ..Default::default()
+            },
+            telemetry: RegistrySnapshot::default(),
+            intervals: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn align_by_workload_drops_unmatched_and_handles_dups() {
+        let base = vec![
+            fake_result("a", 1),
+            fake_result("b", 2),
+            fake_result("b", 3),
+        ];
+        let new = vec![
+            fake_result("b", 10),
+            fake_result("c", 11),
+            fake_result("b", 12),
+        ];
+        let (b, n) = align_by_workload(&base, &new);
+        assert_eq!(b.len(), 2, "only the two `b`s pair");
+        assert_eq!((b[0].stats.cycles, n[0].stats.cycles), (2, 10));
+        assert_eq!((b[1].stats.cycles, n[1].stats.cycles), (3, 12));
+        // The aligned sets satisfy speedups_pct's precondition.
+        let _ = speedups_pct(&b, &n);
+    }
+
+    #[test]
+    fn injected_panic_degrades_not_kills() {
+        let suite = vec![WorkloadSpec::tiny("a", 1), WorkloadSpec::tiny("b", 2)];
+        let opts = SuiteOptions {
+            max_attempts: 2,
+            fault: Some(Arc::new(FaultPlan::parse("panic:2").unwrap())),
+            ..Default::default()
+        };
+        let out =
+            run_suite_outcome(&suite, &SimConfig::baseline(), 5_000, 20_000, &opts, None).unwrap();
+        assert_eq!(out.completed(), 1);
+        assert!(!out.is_complete());
+        let fails = out.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].0, 1, "workload 2 (index 1) is the victim");
+        assert_eq!(fails[0].1.kind(), "workload-panic");
+        assert!(fails[0].1.to_string().contains("`b`"));
+        assert_eq!(
+            out.outcomes[1].attempts, 2,
+            "panic is retryable; both spent"
+        );
+        assert!(out.into_results().is_err());
+    }
+
+    #[test]
+    fn transient_panic_recovers_on_retry() {
+        let suite = vec![WorkloadSpec::tiny("a", 1)];
+        let opts = SuiteOptions {
+            max_attempts: 3,
+            fault: Some(Arc::new(FaultPlan::parse("panic:1:1").unwrap())),
+            ..Default::default()
+        };
+        let out =
+            run_suite_outcome(&suite, &SimConfig::baseline(), 5_000, 20_000, &opts, None).unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.outcomes[0].attempts, 2, "one failure, one success");
+    }
+
+    #[test]
+    fn injected_hang_is_caught_by_watchdog() {
+        let suite = vec![WorkloadSpec::tiny("a", 1)];
+        let opts = SuiteOptions {
+            max_attempts: 1,
+            fault: Some(Arc::new(FaultPlan::parse("hang:1").unwrap())),
+            watchdog: Some(Some(2_000)),
+            ..Default::default()
+        };
+        let out =
+            run_suite_outcome(&suite, &SimConfig::baseline(), 5_000, 20_000, &opts, None).unwrap();
+        let fails = out.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].1.kind(), "hang");
+        let snap = fails[0].1.snapshot().expect("hang carries a snapshot");
+        assert_eq!(snap.committed, 0, "hang injected from cycle zero");
+    }
+
+    #[test]
+    fn prefilled_slots_resume_without_resimulating() {
+        let suite = vec![WorkloadSpec::tiny("a", 1), WorkloadSpec::tiny("b", 2)];
+        // Slot 0 prefilled with a sentinel: if the runner re-simulated it,
+        // the fake cycles value would be overwritten.
+        let opts = SuiteOptions {
+            prefilled: vec![Some(fake_result("a", 777)), None],
+            ..Default::default()
+        };
+        let persisted = Mutex::new(Vec::new());
+        let persist = |i: usize, _r: &RunResult| {
+            persisted.lock().unwrap().push(i);
+        };
+        let out = run_suite_outcome(
+            &suite,
+            &SimConfig::baseline(),
+            5_000,
+            20_000,
+            &opts,
+            Some(&persist),
+        )
+        .unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.outcomes[0].attempts, 0, "resumed, not re-run");
+        let r = out.into_results().unwrap();
+        assert_eq!(r[0].stats.cycles, 777, "prefilled result kept verbatim");
+        assert!(r[1].stats.cycles > 0);
+        assert_eq!(
+            *persisted.lock().unwrap(),
+            vec![1],
+            "only fresh work persisted"
+        );
     }
 
     #[test]

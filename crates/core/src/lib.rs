@@ -23,6 +23,7 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod experiment;
 pub mod pipeline;
 pub mod stats;
@@ -31,7 +32,11 @@ pub mod ucp;
 pub use config::{
     BackendConfig, ConfKind, FrontendConfig, PrefetcherKind, SimConfig, UcpConfig, UopCacheModel,
 };
-pub use experiment::{run_lengths, run_suite, speedups_pct, RunResult};
+pub use error::{watchdog_from_env, DiagSnapshot, SimError, DEFAULT_WATCHDOG_CYCLES};
+pub use experiment::{
+    align_by_workload, run_lengths, run_suite, run_suite_outcome, speedups_pct, PersistFn,
+    RunResult, SuiteOptions, SuiteOutcome, WorkloadOutcome,
+};
 pub use pipeline::{RunOutput, Simulator};
 pub use stats::{geomean_speedup_pct, BucketCount, H2pCounts, SimStats, UcpStats};
 pub use ucp::UcpEngine;

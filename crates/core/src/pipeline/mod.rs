@@ -25,6 +25,7 @@
 pub mod backend;
 
 use crate::config::{PrefetcherKind, SimConfig, UopCacheModel};
+use crate::error::{watchdog_from_env, DiagSnapshot, SimError};
 use crate::stats::SimStats;
 use crate::ucp::UcpEngine;
 use backend::Backend;
@@ -262,10 +263,17 @@ pub struct Simulator<'p> {
 
     committed: u64,
     last_commit_cycle: u64,
+    last_retired_pc: Option<Addr>,
     measuring: bool,
     stats: SimStats,
     tele: SimTelemetry,
     sampler: Option<IntervalSampler>,
+
+    // Resilience: hang watchdog window (None = disabled) and the
+    // deterministic fault-injection hooks (`UCP_FAULT`).
+    watchdog: Option<u64>,
+    hang_injected: bool,
+    skew_invariant: bool,
 
     // Per-cycle attribution scratch, reset at the top of `cycle()`.
     delivered_uop: bool,
@@ -364,10 +372,18 @@ impl<'p> Simulator<'p> {
             resolve_q: BinaryHeap::new(),
             committed: 0,
             last_commit_cycle: 0,
+            last_retired_pc: None,
             measuring: false,
             stats: SimStats::default(),
             tele: SimTelemetry::bound_to(telemetry),
-            sampler: IntervalSampler::from_env(),
+            // Constructors cannot return Result without breaking every
+            // embedding; malformed env knobs are hard errors here. Suite
+            // runners validate the environment first and surface
+            // `SimError::BadConfig` before any Simulator is built.
+            sampler: IntervalSampler::from_env().unwrap_or_else(|e| panic!("{e}")),
+            watchdog: watchdog_from_env().unwrap_or_else(|e| panic!("{e}")),
+            hang_injected: false,
+            skew_invariant: false,
             delivered_uop: false,
             delivered_decode: false,
             deliver_blocked: None,
@@ -384,36 +400,95 @@ impl<'p> Simulator<'p> {
         self.sampler = sampler;
     }
 
+    /// Replaces the hang-watchdog window (constructed from `UCP_WATCHDOG`
+    /// by default). `None` disables hang detection — a livelocked
+    /// pipeline then spins until killed externally.
+    pub fn set_watchdog(&mut self, cycles: Option<u64>) {
+        self.watchdog = cycles;
+    }
+
+    /// Fault-injection hook (`UCP_FAULT=hang:...`): stops all retirement,
+    /// so the hang watchdog must terminate the run with
+    /// [`SimError::Hang`].
+    pub fn inject_hang(&mut self) {
+        self.hang_injected = true;
+    }
+
+    /// Fault-injection hook (`UCP_FAULT=invariant:...`): skews the
+    /// end-of-run cycle-accounting total by one cycle, forcing
+    /// [`SimError::InvariantViolation`].
+    pub fn inject_invariant_skew(&mut self) {
+        self.skew_invariant = true;
+    }
+
+    /// Captures the machine state for failure diagnostics.
+    fn diag_snapshot(&self) -> DiagSnapshot {
+        DiagSnapshot {
+            cycle: self.now,
+            committed: self.committed,
+            last_commit_cycle: self.last_commit_cycle,
+            last_retired_pc: self.last_retired_pc.map(Addr::raw),
+            agen_pc: self.agen_pc.raw(),
+            agen_dead: self.agen_dead,
+            pending_mispredict: self.pending_mispredict.is_some(),
+            ftq_depth: self.ftq.len(),
+            uopq_depth: self.uopq.len(),
+            rob_occupancy: self.backend.occupancy(),
+            accounting: AccountingBreakdown::from_snapshot(&self.tele.handle.registry.snapshot()),
+        }
+    }
+
+    /// The hang watchdog: no retirement for a full window means the
+    /// pipeline is livelocked (always a simulator bug, never a workload
+    /// property) — terminate with a diagnostic snapshot instead of
+    /// spinning forever.
+    fn hang_check(&self) -> Result<(), SimError> {
+        match self.watchdog {
+            Some(window) if self.now - self.last_commit_cycle >= window => Err(SimError::Hang {
+                workload: String::new(),
+                window,
+                snapshot: Box::new(self.diag_snapshot()),
+            }),
+            _ => Ok(()),
+        }
+    }
+
     /// The telemetry handle this simulator reports into.
     pub fn telemetry(&self) -> &Telemetry {
         &self.tele.handle
     }
 
-    /// Convenience: build the workload's program and run it.
+    /// Convenience: build the workload's program and run it, panicking on
+    /// any [`SimError`] (tests and tools that prefer a crash to a
+    /// degraded result).
     pub fn run_spec(spec: &WorkloadSpec, cfg: &SimConfig, warmup: u64, measure: u64) -> SimStats {
         Simulator::run_spec_full(spec, cfg, warmup, measure).0
     }
 
     /// Like [`Simulator::run_spec`], but also returns the telemetry
     /// registry's measurement-window delta (what suite runners persist).
+    /// Panics on any [`SimError`].
     pub fn run_spec_full(
         spec: &WorkloadSpec,
         cfg: &SimConfig,
         warmup: u64,
         measure: u64,
     ) -> (SimStats, RegistrySnapshot) {
-        let out = Simulator::run_spec_output(spec, cfg, warmup, measure);
+        let out = Simulator::run_spec_output(spec, cfg, warmup, measure)
+            .unwrap_or_else(|e| panic!("{e}"));
         (out.stats, out.telemetry)
     }
 
     /// Like [`Simulator::run_spec_full`], but returns the full
-    /// [`RunOutput`] including the interval time series.
+    /// [`RunOutput`] including the interval time series, and reports
+    /// failures as [`SimError`] instead of panicking. This is the entry
+    /// point the fault-isolated suite runner uses.
     pub fn run_spec_output(
         spec: &WorkloadSpec,
         cfg: &SimConfig,
         warmup: u64,
         measure: u64,
-    ) -> RunOutput {
+    ) -> Result<RunOutput, SimError> {
         let prog = spec.build();
         let mut sim = Simulator::new(&prog, spec.seed, cfg);
         sim.run_full(warmup, measure)
@@ -424,8 +499,9 @@ impl<'p> Simulator<'p> {
     ///
     /// # Panics
     ///
-    /// Panics if the pipeline deadlocks (no commit for 500k cycles) —
-    /// always a simulator bug, never a workload property.
+    /// Panics on any [`SimError`] — hang-watchdog expiry, accounting
+    /// invariant violation. Fallible callers use
+    /// [`Simulator::run_full`].
     pub fn run(&mut self, warmup: u64, measure: u64) -> SimStats {
         self.run_instrumented(warmup, measure).0
     }
@@ -434,18 +510,26 @@ impl<'p> Simulator<'p> {
     /// measurement window. Registry counters tick through warm-up too (they
     /// are not gated on `measuring`); the window is carved out by
     /// snapshotting at the measurement boundary and diffing at the end —
-    /// the same pattern as the L1I and UCP statistics below.
+    /// the same pattern as the L1I and UCP statistics below. Panics on
+    /// any [`SimError`].
     pub fn run_instrumented(&mut self, warmup: u64, measure: u64) -> (SimStats, RegistrySnapshot) {
-        let out = self.run_full(warmup, measure);
+        let out = self
+            .run_full(warmup, measure)
+            .unwrap_or_else(|e| panic!("{e}"));
         (out.stats, out.telemetry)
     }
 
     /// [`Simulator::run_instrumented`] plus the interval time series, and
-    /// the point where the cycle-accounting invariant is enforced: the
-    /// per-category cycles must sum to the independently-counted total,
-    /// which must equal the measured cycle count.
-    pub fn run_full(&mut self, warmup: u64, measure: u64) -> RunOutput {
+    /// the point where failures become structured: the hang watchdog is
+    /// checked every cycle, and the end-of-run cycle-accounting invariant
+    /// (per-category cycles tile the measured total) is reported as
+    /// [`SimError::InvariantViolation`] instead of aborting the process —
+    /// one bad workload must not kill a 30-workload suite. Under
+    /// `cfg(test)` the invariant stays a hard assert so unit tests fail
+    /// loudly at the exact site.
+    pub fn run_full(&mut self, warmup: u64, measure: u64) -> Result<RunOutput, SimError> {
         while self.committed < warmup {
+            self.hang_check()?;
             self.cycle();
         }
         // Open the measurement window (warm-up may overshoot by up to one
@@ -461,6 +545,7 @@ impl<'p> Simulator<'p> {
         }
         let end = start_committed + measure;
         while self.committed < end {
+            self.hang_check()?;
             self.cycle();
         }
         self.stats.cycles = self.now - start_cycle;
@@ -483,18 +568,38 @@ impl<'p> Simulator<'p> {
         // The charger runs exactly once per cycle, so over the window the
         // categories must tile the measured cycles exactly. A violation
         // here is always an attribution bug, never a workload property.
-        let breakdown = AccountingBreakdown::from_snapshot(&telemetry);
-        breakdown.verify().expect("cycle accounting");
-        assert_eq!(
-            breakdown.total, stats.cycles,
-            "cycle accounting charged {} cycles but the window ran {}",
-            breakdown.total, stats.cycles,
-        );
-        RunOutput {
+        // Unit tests keep the hard assert (fail loudly at the site);
+        // everything else gets a structured error the suite runner can
+        // isolate to the one affected workload.
+        let mut breakdown = AccountingBreakdown::from_snapshot(&telemetry);
+        if self.skew_invariant {
+            // Fault injection: desynchronise the independently-counted
+            // total from the per-category sum.
+            breakdown.total += 1;
+        }
+        let violation = match breakdown.verify() {
+            Err(e) => Some(e),
+            Ok(()) if breakdown.total != stats.cycles => Some(format!(
+                "cycle accounting charged {} cycles but the window ran {}",
+                breakdown.total, stats.cycles,
+            )),
+            Ok(()) => None,
+        };
+        if let Some(detail) = violation {
+            #[cfg(test)]
+            panic!("cycle accounting: {detail}");
+            #[cfg(not(test))]
+            return Err(SimError::InvariantViolation {
+                workload: String::new(),
+                detail,
+                snapshot: Box::new(self.diag_snapshot()),
+            });
+        }
+        Ok(RunOutput {
             stats,
             telemetry,
             intervals,
-        }
+        })
     }
 
     /// The materialized correct-path instruction at absolute position `pos`.
@@ -528,18 +633,8 @@ impl<'p> Simulator<'p> {
         if let Some(s) = self.sampler.as_mut() {
             s.tick(self.now, &self.tele.handle.registry);
         }
-        assert!(
-            self.now - self.last_commit_cycle < 500_000,
-            "pipeline deadlock at cycle {} (committed {}, agen_dead {}, \
-             pending_mispredict {:?}, rob {}, ftq {}, uopq {})",
-            self.now,
-            self.committed,
-            self.agen_dead,
-            self.pending_mispredict,
-            self.backend.occupancy(),
-            self.ftq.len(),
-            self.uopq.len(),
-        );
+        // Livelock detection lives in the run loops (`hang_check`), which
+        // report a structured `SimError::Hang` instead of asserting here.
     }
 
     /// Attributes the cycle that just executed to one [`CycleCause`],
@@ -749,9 +844,15 @@ impl<'p> Simulator<'p> {
     // ------------------------------------------------------------------
 
     fn commit_stage(&mut self) {
+        if self.hang_injected {
+            // Fault injection: retirement is wedged; the watchdog must
+            // notice and raise `SimError::Hang`.
+            return;
+        }
         let retired = self.backend.commit(self.now);
         for e in &retired {
             debug_assert_eq!(e.pos, self.stream_base, "in-order commit");
+            self.last_retired_pc = Some(self.stream[0].pc);
             self.stream.pop_front();
             self.stream_base += 1;
             self.committed += 1;

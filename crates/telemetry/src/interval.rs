@@ -133,10 +133,12 @@ impl IntervalSampler {
         }
     }
 
-    /// Reads `UCP_INTERVAL` / `UCP_INTERVAL_BUF`: `None` when sampling is
-    /// disabled (`UCP_INTERVAL=0` or `off`), otherwise a sampler with the
-    /// configured (or default) interval length.
-    pub fn from_env() -> Option<Self> {
+    /// Reads `UCP_INTERVAL` / `UCP_INTERVAL_BUF`: `Ok(None)` when sampling
+    /// is disabled (`UCP_INTERVAL=0` or `off`), otherwise a sampler with
+    /// the configured (or default) interval length. Unparseable values are
+    /// a hard configuration error — a typo must not silently fall back to
+    /// the default and invalidate hours of cached results.
+    pub fn from_env() -> Result<Option<Self>, String> {
         let every = match std::env::var("UCP_INTERVAL") {
             Err(_) => DEFAULT_INTERVAL_CYCLES,
             Ok(s) => {
@@ -144,21 +146,28 @@ impl IntervalSampler {
                 if s.is_empty() {
                     DEFAULT_INTERVAL_CYCLES
                 } else if s == "off" {
-                    return None;
+                    return Ok(None);
                 } else {
                     match s.parse::<u64>() {
-                        Ok(0) => return None,
+                        Ok(0) => return Ok(None),
                         Ok(n) => n,
-                        Err(_) => DEFAULT_INTERVAL_CYCLES,
+                        Err(_) => {
+                            return Err(format!(
+                                "UCP_INTERVAL=`{s}` is not a cycle count; \
+                                 expected an integer, `0`, or `off`"
+                            ))
+                        }
                     }
                 }
             }
         };
-        let capacity = std::env::var("UCP_INTERVAL_BUF")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .unwrap_or(DEFAULT_INTERVAL_CAPACITY);
-        Some(IntervalSampler::new(every, capacity))
+        let capacity = match std::env::var("UCP_INTERVAL_BUF") {
+            Err(_) => DEFAULT_INTERVAL_CAPACITY,
+            Ok(s) => s.trim().parse::<usize>().map_err(|_| {
+                format!("UCP_INTERVAL_BUF=`{s}` is not a record count; expected an integer")
+            })?,
+        };
+        Ok(Some(IntervalSampler::new(every, capacity)))
     }
 
     /// Interval length in cycles.
@@ -415,20 +424,21 @@ mod tests {
         // avoid cross-test races.
         std::env::remove_var("UCP_INTERVAL");
         assert_eq!(
-            IntervalSampler::from_env().unwrap().every(),
+            IntervalSampler::from_env().unwrap().unwrap().every(),
             DEFAULT_INTERVAL_CYCLES
         );
         std::env::set_var("UCP_INTERVAL", "2500");
-        assert_eq!(IntervalSampler::from_env().unwrap().every(), 2500);
+        assert_eq!(IntervalSampler::from_env().unwrap().unwrap().every(), 2500);
         std::env::set_var("UCP_INTERVAL", "0");
-        assert!(IntervalSampler::from_env().is_none());
+        assert!(IntervalSampler::from_env().unwrap().is_none());
         std::env::set_var("UCP_INTERVAL", "off");
-        assert!(IntervalSampler::from_env().is_none());
+        assert!(IntervalSampler::from_env().unwrap().is_none());
+        // A typo is a hard error, never a silent fallback to the default.
         std::env::set_var("UCP_INTERVAL", "garbage");
-        assert_eq!(
-            IntervalSampler::from_env().unwrap().every(),
-            DEFAULT_INTERVAL_CYCLES
-        );
+        assert!(IntervalSampler::from_env().is_err());
         std::env::remove_var("UCP_INTERVAL");
+        std::env::set_var("UCP_INTERVAL_BUF", "many");
+        assert!(IntervalSampler::from_env().is_err());
+        std::env::remove_var("UCP_INTERVAL_BUF");
     }
 }

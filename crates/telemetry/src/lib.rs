@@ -48,9 +48,12 @@
 //! - `UCP_TRACE_BUF` — ring-buffer capacity in events (default 65536).
 //!   When full, the oldest events are overwritten and counted as dropped.
 //! - `UCP_INTERVAL` — cycles per interval sample (default 100000; `0` or
-//!   `off` disables interval sampling).
+//!   `off` disables interval sampling). Anything else that fails to parse
+//!   as an integer is a hard configuration error.
 //! - `UCP_INTERVAL_BUF` — interval ring capacity in records (default
-//!   4096).
+//!   4096); non-numeric values are a hard configuration error.
+//! - `UCP_FAULT` — deterministic fault injection, `site:nth[:times]`
+//!   (see [`fault`]). Unset disables every fault site.
 //!
 //! # Example
 //!
@@ -69,12 +72,14 @@
 
 pub mod accounting;
 pub mod export;
+pub mod fault;
 pub mod interval;
 pub mod registry;
 pub mod tracer;
 
 pub use accounting::{AccountingBreakdown, CycleAccounting, CycleCause, TOTAL_CYCLES_PATH};
 pub use export::{snapshot_table, to_chrome_trace, to_chrome_trace_with_counters, to_jsonl};
+pub use fault::FaultPlan;
 pub use interval::{intervals_to_csv, intervals_to_jsonl, IntervalRecord, IntervalSampler};
 pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use tracer::{Category, CategorySet, TraceEvent, Tracer};

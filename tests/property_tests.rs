@@ -92,7 +92,7 @@ proptest! {
         let mut sim = Simulator::with_telemetry(&prog, spec.seed, &cfg, Telemetry::disabled());
         // Short intervals so small runs still produce several records.
         sim.set_interval_sampling(Some(IntervalSampler::new(2_000, 1 << 16)));
-        let out = sim.run_full(2_000, 10_000);
+        let out = sim.run_full(2_000, 10_000).expect("run completes");
 
         let breakdown = AccountingBreakdown::from_snapshot(&out.telemetry);
         prop_assert!(breakdown.verify().is_ok(), "{:?}", breakdown.verify());
