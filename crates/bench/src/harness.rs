@@ -152,6 +152,69 @@ impl SuiteRun {
     }
 }
 
+/// Retention caps for result-cache litter: stale `partial-<key>/` resume
+/// directories (a partial can only resume a run with the *same* key, so
+/// old ones are dead weight) and `*.quarantined.*` forensic copies.
+const MAX_PARTIAL_DIRS: usize = 8;
+const MAX_QUARANTINED: usize = 16;
+
+/// Prunes the cache directory's recoverable litter down to the retention
+/// caps, oldest first by mtime, logging every eviction. `active_partial`
+/// (the in-flight run's resume directory) is never pruned, and the
+/// combined `<key>.json` entries are never touched.
+pub fn prune_cache_litter(
+    dir: &Path,
+    active_partial: &Path,
+    max_partial_dirs: usize,
+    max_quarantined: usize,
+) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut partials = Vec::new();
+    let mut quarantined = Vec::new();
+    for e in entries.flatten() {
+        let path = e.path();
+        if path == active_partial {
+            continue;
+        }
+        let Ok(md) = e.metadata() else { continue };
+        let name = e.file_name().to_string_lossy().into_owned();
+        let mtime = md.modified().ok();
+        if md.is_dir() && name.starts_with("partial-") {
+            partials.push((mtime, path));
+        } else if md.is_file() && name.contains(".quarantined") {
+            quarantined.push((mtime, path));
+        }
+    }
+    prune_oldest(partials, max_partial_dirs, true);
+    prune_oldest(quarantined, max_quarantined, false);
+}
+
+fn prune_oldest(
+    mut entries: Vec<(Option<std::time::SystemTime>, PathBuf)>,
+    cap: usize,
+    is_dir: bool,
+) {
+    if entries.len() <= cap {
+        return;
+    }
+    // Unreadable mtimes (`None`) sort oldest and go first.
+    entries.sort_by_key(|(t, _)| *t);
+    let excess = entries.len() - cap;
+    for (_, path) in entries.drain(..excess) {
+        let removed = if is_dir {
+            std::fs::remove_dir_all(&path)
+        } else {
+            std::fs::remove_file(&path)
+        };
+        match removed {
+            Ok(()) => eprintln!("[ucp-cache] pruned stale {}", path.display()),
+            Err(e) => eprintln!("[ucp-cache] could not prune {}: {e}", path.display()),
+        }
+    }
+}
+
 /// The fault-isolated, resumable, integrity-checked suite runner behind
 /// [`cached_suite_run`], parameterized over the cache directory so tests
 /// can use private directories instead of racing on the environment.
@@ -201,6 +264,7 @@ pub fn suite_run_with_cache(
         if let Some(results) = load_combined(&combined, suite) {
             return Ok(SuiteRun::complete(results));
         }
+        prune_cache_litter(dir, &partial_dir, MAX_PARTIAL_DIRS, MAX_QUARANTINED);
     }
 
     // Resume: adopt verified per-workload partials from a previous run.
@@ -610,6 +674,7 @@ mod tests {
             stats: SimStats::default(),
             telemetry: ucp_telemetry::RegistrySnapshot::default(),
             intervals: Vec::new(),
+            digests: Vec::new(),
         };
         let complete = SuiteRun::complete(vec![ok.clone()]);
         assert!(complete.is_complete());
@@ -645,12 +710,14 @@ mod tests {
                 stats: SimStats::default(),
                 telemetry: a,
                 intervals: Vec::new(),
+                digests: Vec::new(),
             },
             RunResult {
                 workload: "b".into(),
                 stats: SimStats::default(),
                 telemetry: b,
                 intervals: Vec::new(),
+                digests: Vec::new(),
             },
         ];
         assert_eq!(merged_telemetry(&results).counters["ucp.walks_started"], 5);
@@ -674,6 +741,7 @@ mod tests {
             stats,
             telemetry: snap,
             intervals: Vec::new(),
+            digests: Vec::new(),
         }
     }
 
@@ -686,6 +754,7 @@ mod tests {
             stats: ucp_core::SimStats::default(),
             telemetry: ucp_telemetry::RegistrySnapshot::default(),
             intervals: Vec::new(),
+            digests: Vec::new(),
         };
         assert!(check_accounting(&[good.clone(), legacy]).is_empty());
         let msgs = check_accounting(&[good, bad]);
@@ -706,6 +775,42 @@ mod tests {
         assert!(uop < miss, "{table}");
         assert!(table.contains("ALL"));
         assert_eq!(suite_breakdown(&r).total, 20);
+    }
+
+    #[test]
+    fn prune_cache_litter_caps_partials_and_quarantine() {
+        let dir = std::env::temp_dir().join(format!("ucp-prune-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Four stale partial dirs plus the active one, three quarantined
+        // files, and a combined entry that must never be touched.
+        for i in 0..4 {
+            std::fs::create_dir_all(dir.join(format!("partial-old{i}"))).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let active = dir.join("partial-active");
+        std::fs::create_dir_all(&active).unwrap();
+        for i in 0..3 {
+            std::fs::write(dir.join(format!("e{i}.json.quarantined.0")), "x").unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        std::fs::write(dir.join("abcd.json"), "{}").unwrap();
+
+        prune_cache_litter(&dir, &active, 2, 1);
+
+        assert!(!dir.join("partial-old0").exists(), "oldest partial evicted");
+        assert!(
+            !dir.join("partial-old1").exists(),
+            "2nd-oldest partial evicted"
+        );
+        assert!(dir.join("partial-old2").exists(), "newest partials kept");
+        assert!(dir.join("partial-old3").exists());
+        assert!(active.exists(), "active partial never pruned");
+        assert!(!dir.join("e0.json.quarantined.0").exists());
+        assert!(!dir.join("e1.json.quarantined.0").exists());
+        assert!(dir.join("e2.json.quarantined.0").exists(), "newest kept");
+        assert!(dir.join("abcd.json").exists(), "combined entries untouched");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

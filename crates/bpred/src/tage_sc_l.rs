@@ -238,6 +238,71 @@ impl TageScL {
     }
 }
 
+impl TageScL {
+    /// Serializes the composite's mutable state (all three component
+    /// predictors plus the bimodal last-8 register). The preset/geometry
+    /// is not stored; restore targets must be built with the same preset.
+    pub fn save_state(&self, w: &mut sim_isa::StateWriter) {
+        self.tage.save_state(w);
+        self.sc.save_state(w);
+        self.lp.save_state(w);
+        w.put_u8(self.bim_miss_hist);
+    }
+
+    /// Restores state written by [`TageScL::save_state`].
+    pub fn restore_state(&mut self, r: &mut sim_isa::StateReader) {
+        self.tage.restore_state(r);
+        self.sc.restore_state(r);
+        self.lp.restore_state(r);
+        self.bim_miss_hist = r.get_u8();
+    }
+}
+
+impl SclPrediction {
+    /// Serializes a prediction held by an in-flight branch record.
+    pub fn save_state(&self, w: &mut sim_isa::StateWriter) {
+        w.put_bool(self.taken);
+        w.put_u8(match self.provider {
+            Provider::Bimodal => 0,
+            Provider::BimodalLow8 => 1,
+            Provider::HitBank => 2,
+            Provider::AltBank => 3,
+            Provider::LoopPred => 4,
+            Provider::Sc => 5,
+        });
+        self.tage.save_state(w);
+        self.sc.save_state(w);
+        self.lp.save_state(w);
+        w.put_bool(self.bim_low8);
+    }
+
+    /// Decodes a prediction written by [`SclPrediction::save_state`].
+    pub fn load_state(r: &mut sim_isa::StateReader) -> Self {
+        let taken = r.get_bool();
+        let provider = match r.get_u8() {
+            0 => Provider::Bimodal,
+            1 => Provider::BimodalLow8,
+            2 => Provider::HitBank,
+            3 => Provider::AltBank,
+            4 => Provider::LoopPred,
+            5 => Provider::Sc,
+            b => panic!("checkpoint state corrupt: SCL provider {b}"),
+        };
+        let tage = TagePrediction::load_state(r);
+        let sc = ScPrediction::load_state(r);
+        let lp = LoopPrediction::load_state(r);
+        let bim_low8 = r.get_bool();
+        SclPrediction {
+            taken,
+            provider,
+            tage,
+            sc,
+            lp,
+            bim_low8,
+        }
+    }
+}
+
 #[inline]
 fn centered(t: &TagePrediction) -> i32 {
     // Map the provider counter to a signed confidence term. Bimodal

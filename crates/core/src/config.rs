@@ -2,14 +2,14 @@
 //! the evaluation sweeps (µ-op cache model, L1I prefetcher, idealizations,
 //! MRC, and the UCP engine itself).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use ucp_bpred::SclPreset;
 use ucp_frontend::{BtbConfig, UopCacheConfig};
 use ucp_mem::HierarchyConfig;
 use ucp_prefetch::InstPrefetcher as _;
 
 /// How the µ-op cache is modelled.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum UopCacheModel {
     /// No µ-op cache: every µ-op flows through L1I + decoders
     /// (the Fig. 2/Fig. 10 baseline denominator).
@@ -28,7 +28,7 @@ impl UopCacheModel {
 }
 
 /// Frontend widths and penalties (Table II, "Frontend Stages" plus §V).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FrontendConfig {
     /// Fetch-block windows looked up per cycle (2 windows/cycle in Fig. 1).
     pub windows_per_cycle: u32,
@@ -84,7 +84,7 @@ impl Default for FrontendConfig {
 }
 
 /// Backend widths and latencies (Table II, "Backend Stages").
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BackendConfig {
     /// Reorder-buffer entries.
     pub rob_entries: usize,
@@ -120,7 +120,7 @@ impl Default for BackendConfig {
 }
 
 /// Which baseline L1I prefetcher to attach (§III-C / Fig. 5).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PrefetcherKind {
     /// No standalone prefetcher.
     None,
@@ -161,7 +161,7 @@ impl PrefetcherKind {
 }
 
 /// Which confidence estimator triggers UCP (Fig. 12b).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ConfKind {
     /// Seznec's original TAGE confidence.
     Tage,
@@ -170,7 +170,7 @@ pub enum ConfKind {
 }
 
 /// The UCP engine configuration (§IV).
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct UcpConfig {
     /// Master switch.
     pub enabled: bool,
@@ -218,7 +218,7 @@ impl Default for UcpConfig {
 }
 
 /// The complete simulator configuration.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Frontend widths and penalties.
     pub frontend: FrontendConfig,

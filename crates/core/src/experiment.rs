@@ -6,6 +6,7 @@
 use crate::config::SimConfig;
 use crate::error::{watchdog_from_env, SimError};
 use crate::pipeline::{RunOutput, Simulator};
+use crate::snapshot::{ckpt_from_env, digest_from_env, DigestRecord};
 use crate::stats::SimStats;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -63,6 +64,10 @@ pub struct RunResult {
     /// sampling was off, or for results cached before it existed).
     #[serde(default)]
     pub intervals: Vec<IntervalRecord>,
+    /// Determinism-auditor digest samples (empty unless `UCP_DIGEST` was
+    /// set, or for results cached before the auditor existed).
+    #[serde(default)]
+    pub digests: Vec<DigestRecord>,
 }
 
 /// How [`run_suite_outcome`] isolates, retries and resumes workloads.
@@ -163,6 +168,8 @@ const RESEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 fn validate_env() -> Result<Option<Arc<FaultPlan>>, SimError> {
     watchdog_from_env().map_err(|detail| SimError::BadConfig { detail })?;
     IntervalSampler::from_env().map_err(|detail| SimError::BadConfig { detail })?;
+    ckpt_from_env().map_err(|detail| SimError::BadConfig { detail })?;
+    digest_from_env().map_err(|detail| SimError::BadConfig { detail })?;
     global_plan().map_err(|detail| SimError::BadConfig { detail })
 }
 
@@ -174,7 +181,7 @@ fn run_one_attempt(
     cfg: &SimConfig,
     warmup: u64,
     measure: u64,
-    fault: Option<&FaultPlan>,
+    fault: Option<&Arc<FaultPlan>>,
     index: usize,
     watchdog: Option<Option<u64>>,
 ) -> Result<RunOutput, SimError> {
@@ -192,7 +199,15 @@ fn run_one_attempt(
     if fault.is_some_and(|p| p.armed_at("invariant", index)) {
         sim.inject_invariant_skew();
     }
-    sim.run_full(warmup, measure)
+    // Under `UCP_CKPT` this resumes from the newest valid checkpoint of
+    // a previous (killed) run of the same trajectory instead of
+    // re-simulating from cycle zero. A failed attempt keeps its
+    // checkpoints on disk for the next resume; only a completed run
+    // removes them.
+    sim.init_checkpointing(spec, warmup, measure, fault.cloned())?;
+    let out = sim.run_full(warmup, measure)?;
+    sim.finish_checkpointing();
+    Ok(out)
 }
 
 /// Runs one workload to its final outcome: isolation boundary
@@ -205,7 +220,7 @@ fn run_one_isolated(
     measure: u64,
     index: usize,
     opts: &SuiteOptions,
-    fault: Option<&FaultPlan>,
+    fault: Option<&Arc<FaultPlan>>,
 ) -> WorkloadOutcome {
     let max_attempts = opts.attempts();
     let mut attempt = 0;
@@ -240,6 +255,7 @@ fn run_one_isolated(
                     stats: out.stats,
                     telemetry: out.telemetry,
                     intervals: out.intervals,
+                    digests: out.digests,
                 })
             }
             Err(e) => {
@@ -288,7 +304,7 @@ pub fn run_suite_outcome(
 ) -> Result<SuiteOutcome, SimError> {
     let env_plan = validate_env()?;
     let fault = opts.fault.clone().or(env_plan);
-    let fault = fault.as_deref();
+    let fault = fault.as_ref();
     let max_par = std::thread::available_parallelism().map_or(4, |n| n.get());
     let workers = max_par.max(1).min(suite.len().max(1));
     let next = AtomicUsize::new(0);
@@ -345,6 +361,97 @@ pub fn run_suite(
     measure: u64,
 ) -> Result<Vec<RunResult>, SimError> {
     run_suite_outcome(suite, cfg, warmup, measure, &SuiteOptions::default(), None)?.into_results()
+}
+
+/// The first interval at which a replayed run's state digest stopped
+/// matching the recorded run's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayDivergence {
+    /// Committed-instruction count of the first divergent digest sample
+    /// (from run A; the runs agreed on every earlier sample).
+    pub committed: u64,
+    /// Cycle at which run A took the divergent sample.
+    pub cycle_a: u64,
+    /// Cycle at which run B took the divergent sample.
+    pub cycle_b: u64,
+    /// Run A's state digest at the divergent sample.
+    pub digest_a: u64,
+    /// Run B's state digest at the divergent sample.
+    pub digest_b: u64,
+}
+
+/// Outcome of [`replay_verify`]: a run-vs-replay digest comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplayReport {
+    /// Workload name.
+    pub workload: String,
+    /// Digest samples compared (the shorter run bounds this).
+    pub intervals_compared: usize,
+    /// The first divergent interval, or `None` when every compared
+    /// sample matched.
+    pub first_divergence: Option<ReplayDivergence>,
+}
+
+impl ReplayReport {
+    /// True when the replay matched the original at every compared
+    /// sample.
+    pub fn is_deterministic(&self) -> bool {
+        self.first_divergence.is_none()
+    }
+}
+
+/// The determinism auditor's replay mode: runs `spec` twice with a
+/// rolling state digest every `every` committed instructions and reports
+/// the first interval at which the two runs diverge.
+///
+/// A clean simulator is bit-deterministic, so the report normally shows
+/// no divergence. `fault` with an `invariant` site armed at index 0
+/// skews run A mid-flight (the `UCP_FAULT` invariant injection), which
+/// the auditor then localizes to the first digest sample after the skew
+/// — the self-test that proves the auditor can see real divergence.
+///
+/// # Errors
+///
+/// Any [`SimError`] from the underlying runs, except an invariant
+/// violation in an intentionally-skewed run A (expected there; the
+/// digests collected up to the violation are still compared).
+pub fn replay_verify(
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    warmup: u64,
+    measure: u64,
+    every: u64,
+    fault: Option<&FaultPlan>,
+) -> Result<ReplayReport, SimError> {
+    let digests_of = |inject: bool| -> Result<Vec<DigestRecord>, SimError> {
+        let prog = spec.build();
+        let mut sim = Simulator::new(&prog, spec.seed, cfg);
+        sim.set_digest_interval(Some(every));
+        if inject {
+            sim.inject_invariant_skew();
+        }
+        match sim.run_full(warmup, measure) {
+            Ok(out) => Ok(out.digests),
+            Err(SimError::InvariantViolation { .. }) if inject => Ok(sim.digests().to_vec()),
+            Err(e) => Err(e),
+        }
+    };
+    let skew = fault.is_some_and(|p| p.armed_at("invariant", 0));
+    let a = digests_of(skew)?;
+    let b = digests_of(false)?;
+    let n = a.len().min(b.len());
+    let first_divergence = (0..n).find(|&i| a[i] != b[i]).map(|i| ReplayDivergence {
+        committed: a[i].committed,
+        cycle_a: a[i].cycle,
+        cycle_b: b[i].cycle,
+        digest_a: a[i].digest,
+        digest_b: b[i].digest,
+    });
+    Ok(ReplayReport {
+        workload: spec.name.clone(),
+        intervals_compared: n,
+        first_divergence,
+    })
 }
 
 /// Per-workload IPCs from a result set.
@@ -465,10 +572,11 @@ mod tests {
             stats,
             telemetry: RegistrySnapshot::default(),
             intervals: Vec::new(),
+            digests: Vec::new(),
         })
         .unwrap();
         if let serde_json::Value::Map(entries) = &mut v {
-            entries.retain(|(k, _)| k != "telemetry" && k != "intervals");
+            entries.retain(|(k, _)| k != "telemetry" && k != "intervals" && k != "digests");
         }
         let back: RunResult = serde_json::from_value(v).unwrap();
         assert!(back.telemetry.is_empty());
@@ -494,6 +602,7 @@ mod tests {
             },
             telemetry: RegistrySnapshot::default(),
             intervals: Vec::new(),
+            digests: Vec::new(),
         }
     }
 

@@ -26,6 +26,7 @@ pub mod config;
 pub mod error;
 pub mod experiment;
 pub mod pipeline;
+pub mod snapshot;
 pub mod stats;
 pub mod ucp;
 
@@ -34,9 +35,14 @@ pub use config::{
 };
 pub use error::{watchdog_from_env, DiagSnapshot, SimError, DEFAULT_WATCHDOG_CYCLES};
 pub use experiment::{
-    align_by_workload, run_lengths, run_suite, run_suite_outcome, speedups_pct, PersistFn,
-    RunResult, SuiteOptions, SuiteOutcome, WorkloadOutcome,
+    align_by_workload, replay_verify, run_lengths, run_suite, run_suite_outcome, speedups_pct,
+    PersistFn, ReplayDivergence, ReplayReport, RunResult, SuiteOptions, SuiteOutcome,
+    WorkloadOutcome,
 };
 pub use pipeline::{RunOutput, Simulator};
+pub use snapshot::{
+    ckpt_from_env, digest_from_env, CheckpointMeta, CheckpointPolicy, Checkpointable, DigestRecord,
+    CKPT_VERSION,
+};
 pub use stats::{geomean_speedup_pct, BucketCount, H2pCounts, SimStats, UcpStats};
 pub use ucp::UcpEngine;

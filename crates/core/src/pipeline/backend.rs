@@ -118,6 +118,35 @@ impl Backend {
     pub fn head_complete(&self) -> Option<u64> {
         self.rob.front().map(|e| e.complete)
     }
+
+    /// Serializes the ROB and the register scoreboard.
+    pub fn save_state(&self, w: &mut sim_isa::StateWriter) {
+        w.put_usize(self.rob.len());
+        for e in &self.rob {
+            w.put_u64(e.pos);
+            w.put_u64(e.complete);
+            w.put_opt_u64(e.rec);
+        }
+        for &r in &self.reg_avail {
+            w.put_u64(r);
+        }
+    }
+
+    /// Restores state written by [`Backend::save_state`].
+    pub fn restore_state(&mut self, r: &mut sim_isa::StateReader) {
+        let n = r.get_usize();
+        assert!(n <= self.cfg.rob_entries, "ROB geometry mismatch");
+        self.rob.clear();
+        for _ in 0..n {
+            let pos = r.get_u64();
+            let complete = r.get_u64();
+            let rec = r.get_opt_u64();
+            self.rob.push_back(RobEntry { pos, complete, rec });
+        }
+        for slot in &mut self.reg_avail {
+            *slot = r.get_u64();
+        }
+    }
 }
 
 #[cfg(test)]

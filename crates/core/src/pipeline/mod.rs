@@ -26,21 +26,27 @@ pub mod backend;
 
 use crate::config::{PrefetcherKind, SimConfig, UopCacheModel};
 use crate::error::{watchdog_from_env, DiagSnapshot, SimError};
-use crate::stats::SimStats;
+use crate::snapshot::{
+    ckpt_from_env, ckpt_root, digest_from_env, latest_valid_checkpoint, remove_run_checkpoints,
+    run_slug, write_checkpoint, CheckpointMeta, CheckpointPolicy, DigestRecord, CKPT_VERSION,
+};
+use crate::stats::{SimStats, UcpStats};
 use crate::ucp::UcpEngine;
 use backend::Backend;
-use sim_isa::{Addr, BranchClass, DynInst, InstKind};
+use sim_isa::{fnv1a64, Addr, BranchClass, DynInst, InstKind, StateReader, StateWriter};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::Arc;
 use ucp_bpred::{
     push_target_history, ConfidenceEstimator, HistCheckpoint, HistoryState, Ittage, IttageParams,
     IttagePrediction, SclPrediction, TageConf, TageScL, UcpConf,
 };
 use ucp_frontend::{BoundedQueue, Btb, EntryEnd, Ras, RasCheckpoint, UopCache, UopEntrySpec};
-use ucp_mem::{Hierarchy, HitLevel};
+use ucp_mem::{CacheStats, Hierarchy, HitLevel};
 use ucp_prefetch::{DJolt, Entangling, FnlMma, InstPrefetcher, Mrc, NoPrefetch};
 use ucp_telemetry::interval::{IntervalRecord, IntervalSampler, INSTRET_PATH};
 use ucp_telemetry::{
-    AccountingBreakdown, Category, Counter, CycleAccounting, CycleCause, Histogram,
+    AccountingBreakdown, Category, Counter, CycleAccounting, CycleCause, FaultPlan, Histogram,
     RegistrySnapshot, Telemetry,
 };
 use ucp_workloads::{Oracle, Program, WorkloadSpec};
@@ -169,6 +175,35 @@ struct UopQEntry {
     rec: Option<u64>,
 }
 
+/// Baselines captured when the measurement window opens. They live on
+/// the simulator (not on `run_full`'s stack) so that a checkpoint taken
+/// mid-window carries them, and a restored run closes the window against
+/// the *original* baselines — bit-identical to an uninterrupted run.
+struct MeasureState {
+    start_cycle: u64,
+    start_committed: u64,
+    l1i0: CacheStats,
+    ucp0: Option<UcpStats>,
+    reg0: RegistrySnapshot,
+}
+
+/// An armed checkpoint writer (`UCP_CKPT`): destination directory,
+/// cadence, retention, and the metadata identifying this run's exact
+/// trajectory (embedded in every checkpoint so offline tools can rebuild
+/// the simulation from the file alone).
+struct CkptSink {
+    dir: PathBuf,
+    every: u64,
+    keep: usize,
+    workload: String,
+    spec_json: String,
+    cfg_json: String,
+    seed: u64,
+    warmup: u64,
+    measure: u64,
+    fault: Option<Arc<FaultPlan>>,
+}
+
 /// The simulator's own telemetry handles (`pipeline.*`, plus the
 /// `frontend.*`/`prefetch.*` counters whose increment sites live in the
 /// pipeline rather than in the component crates).
@@ -209,6 +244,10 @@ pub struct RunOutput {
     pub telemetry: RegistrySnapshot,
     /// Interval samples covering the measurement window, oldest first.
     pub intervals: Vec<IntervalRecord>,
+    /// Determinism-auditor digest samples over the whole run, oldest
+    /// first (empty unless `UCP_DIGEST` or
+    /// [`Simulator::set_digest_interval`] enabled the auditor).
+    pub digests: Vec<DigestRecord>,
 }
 
 /// The full-machine simulator for one workload.
@@ -254,6 +293,9 @@ pub struct Simulator<'p> {
     ideal_brcond_left: u32,
     demand_uop_banks: [bool; 2],
 
+    // Determinism: only ever accessed by key — HashMap iteration order
+    // must not influence simulation, and `save_state` serializes the
+    // entries sorted so it cannot leak into checkpoint bytes either.
     records: HashMap<u64, PredRecord>,
     rec_order: VecDeque<u64>,
     next_rec_id: u64,
@@ -265,15 +307,25 @@ pub struct Simulator<'p> {
     last_commit_cycle: u64,
     last_retired_pc: Option<Addr>,
     measuring: bool,
+    measure_state: Option<MeasureState>,
     stats: SimStats,
     tele: SimTelemetry,
     sampler: Option<IntervalSampler>,
+
+    // Checkpointing (`UCP_CKPT`) and the determinism auditor
+    // (`UCP_DIGEST`).
+    ckpt: Option<CkptSink>,
+    last_ckpt_committed: u64,
+    digest_every: Option<u64>,
+    last_digest_committed: u64,
+    digests: Vec<DigestRecord>,
 
     // Resilience: hang watchdog window (None = disabled) and the
     // deterministic fault-injection hooks (`UCP_FAULT`).
     watchdog: Option<u64>,
     hang_injected: bool,
     skew_invariant: bool,
+    skew_applied: bool,
 
     // Per-cycle attribution scratch, reset at the top of `cycle()`.
     delivered_uop: bool,
@@ -374,6 +426,7 @@ impl<'p> Simulator<'p> {
             last_commit_cycle: 0,
             last_retired_pc: None,
             measuring: false,
+            measure_state: None,
             stats: SimStats::default(),
             tele: SimTelemetry::bound_to(telemetry),
             // Constructors cannot return Result without breaking every
@@ -381,9 +434,15 @@ impl<'p> Simulator<'p> {
             // runners validate the environment first and surface
             // `SimError::BadConfig` before any Simulator is built.
             sampler: IntervalSampler::from_env().unwrap_or_else(|e| panic!("{e}")),
+            ckpt: None,
+            last_ckpt_committed: 0,
+            digest_every: digest_from_env().unwrap_or_else(|e| panic!("{e}")),
+            last_digest_committed: 0,
+            digests: Vec::new(),
             watchdog: watchdog_from_env().unwrap_or_else(|e| panic!("{e}")),
             hang_injected: false,
             skew_invariant: false,
+            skew_applied: false,
             delivered_uop: false,
             delivered_decode: false,
             deliver_blocked: None,
@@ -435,6 +494,7 @@ impl<'p> Simulator<'p> {
             uopq_depth: self.uopq.len(),
             rob_occupancy: self.backend.occupancy(),
             accounting: AccountingBreakdown::from_snapshot(&self.tele.handle.registry.snapshot()),
+            state_digest: self.state_digest(),
         }
     }
 
@@ -491,7 +551,10 @@ impl<'p> Simulator<'p> {
     ) -> Result<RunOutput, SimError> {
         let prog = spec.build();
         let mut sim = Simulator::new(&prog, spec.seed, cfg);
-        sim.run_full(warmup, measure)
+        sim.init_checkpointing(spec, warmup, measure, None)?;
+        let out = sim.run_full(warmup, measure)?;
+        sim.finish_checkpointing();
+        Ok(out)
     }
 
     /// Runs `warmup` instructions with statistics off, then `measure`
@@ -528,35 +591,42 @@ impl<'p> Simulator<'p> {
     /// `cfg(test)` the invariant stays a hard assert so unit tests fail
     /// loudly at the exact site.
     pub fn run_full(&mut self, warmup: u64, measure: u64) -> Result<RunOutput, SimError> {
-        while self.committed < warmup {
+        // A simulator restored from a mid-measurement checkpoint re-enters
+        // here with `measuring` already true — both loop guards and the
+        // restored `measure_state` make the resumed run retrace exactly
+        // the cycles the interrupted one would have executed.
+        while self.committed < warmup && !self.measuring {
             self.hang_check()?;
             self.cycle();
+            self.maybe_digest();
+            self.maybe_checkpoint()?;
         }
-        // Open the measurement window (warm-up may overshoot by up to one
-        // commit width; measure from the actual boundary).
-        self.measuring = true;
-        let start_cycle = self.now;
-        let start_committed = self.committed;
-        let l1i0 = *self.hier.l1i_stats();
-        let ucp0 = self.ucp.as_ref().map(|u| u.stats.clone());
-        let reg0 = self.tele.handle.registry.snapshot();
-        if let Some(s) = self.sampler.as_mut() {
-            s.begin(self.now, &self.tele.handle.registry);
+        if !self.measuring {
+            self.begin_measurement();
         }
-        let end = start_committed + measure;
+        let end = self
+            .measure_state
+            .as_ref()
+            .expect("measurement window open")
+            .start_committed
+            + measure;
         while self.committed < end {
             self.hang_check()?;
             self.cycle();
+            self.maybe_digest();
+            self.maybe_checkpoint()?;
         }
-        self.stats.cycles = self.now - start_cycle;
-        self.stats.instructions = self.committed - start_committed;
+        let ms = self.measure_state.take().expect("measurement window open");
+        self.measuring = false;
+        self.stats.cycles = self.now - ms.start_cycle;
+        self.stats.instructions = self.committed - ms.start_committed;
         let l1i = *self.hier.l1i_stats();
-        self.stats.l1i_accesses = (l1i.hits + l1i.misses) - (l1i0.hits + l1i0.misses);
-        self.stats.l1i_misses = l1i.misses - l1i0.misses;
-        if let (Some(u), Some(u0)) = (self.ucp.as_ref(), ucp0.as_ref()) {
+        self.stats.l1i_accesses = (l1i.hits + l1i.misses) - (ms.l1i0.hits + ms.l1i0.misses);
+        self.stats.l1i_misses = l1i.misses - ms.l1i0.misses;
+        if let (Some(u), Some(u0)) = (self.ucp.as_ref(), ms.ucp0.as_ref()) {
             self.stats.ucp = u.stats.delta_since(u0);
         }
-        let telemetry = self.tele.handle.registry.snapshot().delta_since(&reg0);
+        let telemetry = self.tele.handle.registry.snapshot().delta_since(&ms.reg0);
         let intervals = match self.sampler.take() {
             Some(mut s) => {
                 s.finish(self.now, &self.tele.handle.registry);
@@ -599,7 +669,26 @@ impl<'p> Simulator<'p> {
             stats,
             telemetry,
             intervals,
+            digests: std::mem::take(&mut self.digests),
         })
+    }
+
+    /// Opens the measurement window: statistics on, baselines snapshotted
+    /// (warm-up may overshoot by up to one commit width; measurement runs
+    /// from the actual boundary).
+    fn begin_measurement(&mut self) {
+        self.measuring = true;
+        let reg0 = self.tele.handle.registry.snapshot();
+        if let Some(s) = self.sampler.as_mut() {
+            s.begin(self.now, &self.tele.handle.registry);
+        }
+        self.measure_state = Some(MeasureState {
+            start_cycle: self.now,
+            start_committed: self.committed,
+            l1i0: *self.hier.l1i_stats(),
+            ucp0: self.ucp.as_ref().map(|u| u.stats.clone()),
+            reg0,
+        });
     }
 
     /// The materialized correct-path instruction at absolute position `pos`.
@@ -619,6 +708,15 @@ impl<'p> Simulator<'p> {
         self.delivered_uop = false;
         self.delivered_decode = false;
         self.deliver_blocked = None;
+        if self.skew_invariant && self.measuring && !self.skew_applied {
+            // Fault injection: perturb one statistic at the start of the
+            // measurement window, so the determinism auditor's digest
+            // stream visibly diverges from a clean run at this interval
+            // (the end-of-run accounting skew alone never touches the
+            // serialized state).
+            self.stats.mode_switches += 1;
+            self.skew_applied = true;
+        }
         self.process_resolutions();
         self.commit_stage();
         self.dispatch_stage();
@@ -1617,5 +1715,698 @@ impl<'p> Simulator<'p> {
                     });
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore and the determinism auditor
+    // ------------------------------------------------------------------
+
+    /// Arms `UCP_CKPT` checkpointing for this run and, when a valid
+    /// checkpoint of the *same trajectory* (workload, seed, config, run
+    /// lengths) exists on disk, restores the newest one instead of
+    /// re-simulating from cycle zero. Returns the committed-instruction
+    /// count resumed from, if any. `fault` arms the `torn_write` site on
+    /// every checkpoint write.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadConfig`] for a malformed `UCP_CKPT` value.
+    pub fn init_checkpointing(
+        &mut self,
+        spec: &WorkloadSpec,
+        warmup: u64,
+        measure: u64,
+        fault: Option<Arc<FaultPlan>>,
+    ) -> Result<Option<u64>, SimError> {
+        match ckpt_from_env().map_err(|detail| SimError::BadConfig { detail })? {
+            Some(policy) => Ok(self.arm_checkpointing(spec, warmup, measure, policy, fault)),
+            None => Ok(None),
+        }
+    }
+
+    /// [`Simulator::init_checkpointing`] with an explicit policy instead
+    /// of the environment knob (tests, offline tools).
+    pub fn arm_checkpointing(
+        &mut self,
+        spec: &WorkloadSpec,
+        warmup: u64,
+        measure: u64,
+        policy: CheckpointPolicy,
+        fault: Option<Arc<FaultPlan>>,
+    ) -> Option<u64> {
+        let spec_json = serde_json::to_string(spec).expect("workload spec serializes");
+        let cfg_json = serde_json::to_string(&self.cfg).expect("sim config serializes");
+        let dir = ckpt_root().join(run_slug(&spec.name, spec.seed, &cfg_json, warmup, measure));
+        let mut resumed = None;
+        if let Some((meta, state)) = latest_valid_checkpoint(&dir) {
+            // The slug already keys the directory by trajectory; verify
+            // anyway — a slug collision must not resume a foreign machine.
+            if meta.spec_json == spec_json && meta.cfg_json == cfg_json && meta.seed == spec.seed {
+                let mut r = StateReader::new(&state);
+                self.restore_state(&mut r);
+                r.finish();
+                self.last_ckpt_committed = meta.committed;
+                eprintln!(
+                    "[ucp-ckpt] resuming {} (seed {}) at {} committed instructions",
+                    spec.name, spec.seed, meta.committed
+                );
+                resumed = Some(meta.committed);
+            } else {
+                eprintln!(
+                    "[ucp-ckpt] ignoring checkpoint for a different run in {}",
+                    dir.display()
+                );
+            }
+        }
+        self.ckpt = Some(CkptSink {
+            dir,
+            every: policy.every,
+            keep: policy.keep,
+            workload: spec.name.clone(),
+            spec_json,
+            cfg_json,
+            seed: spec.seed,
+            warmup,
+            measure,
+            fault,
+        });
+        resumed
+    }
+
+    /// Drops this run's checkpoints (a completed run can never be resumed
+    /// again) and disarms the writer.
+    pub fn finish_checkpointing(&mut self) {
+        if let Some(sink) = self.ckpt.take() {
+            remove_run_checkpoints(&sink.dir);
+        }
+    }
+
+    /// The directory the armed checkpoint writer targets, if any.
+    pub fn checkpoint_dir(&self) -> Option<&std::path::Path> {
+        self.ckpt.as_ref().map(|s| s.dir.as_path())
+    }
+
+    /// Writes a checkpoint if the armed cadence says one is due.
+    fn maybe_checkpoint(&mut self) -> Result<(), SimError> {
+        let Some(every) = self.ckpt.as_ref().map(|s| s.every) else {
+            return Ok(());
+        };
+        if self.committed < self.last_ckpt_committed + every {
+            return Ok(());
+        }
+        let mut w = StateWriter::new();
+        self.save_state(&mut w);
+        let state = w.into_bytes();
+        let sink = self.ckpt.as_ref().expect("checkpoint sink armed");
+        let meta = CheckpointMeta {
+            version: CKPT_VERSION,
+            workload: sink.workload.clone(),
+            spec_json: sink.spec_json.clone(),
+            cfg_json: sink.cfg_json.clone(),
+            seed: sink.seed,
+            warmup: sink.warmup,
+            measure: sink.measure,
+            committed: self.committed,
+            cycle: self.now,
+            digest: fnv1a64(&state),
+        };
+        write_checkpoint(&sink.dir, &meta, &state, sink.keep, sink.fault.as_deref())?;
+        // Fault injection (`UCP_FAULT=kill:<nth>`): die right after the
+        // nth checkpoint write lands — the canonical mid-run kill the
+        // resume path must recover from. The write above is atomic and
+        // complete, so the checkpoint left behind is intact.
+        let killed = sink.fault.as_deref().is_some_and(|p| p.should_fire("kill"));
+        self.last_ckpt_committed = self.committed;
+        if killed {
+            panic!(
+                "injected fault: killed after checkpoint at {} committed instructions",
+                self.committed
+            );
+        }
+        Ok(())
+    }
+
+    /// Records a determinism-auditor digest if the cadence says one is
+    /// due. Retirement advances up to a commit width per cycle, so the
+    /// threshold tracker jumps past every boundary the cycle crossed —
+    /// one sample per crossing cycle, deterministically placed.
+    fn maybe_digest(&mut self) {
+        let Some(every) = self.digest_every else {
+            return;
+        };
+        if self.committed < self.last_digest_committed + every {
+            return;
+        }
+        while self.committed >= self.last_digest_committed + every {
+            self.last_digest_committed += every;
+        }
+        let digest = self.state_digest();
+        self.digests.push(DigestRecord {
+            committed: self.committed,
+            cycle: self.now,
+            digest,
+        });
+    }
+
+    /// FNV-1a digest of the complete serialized machine state.
+    pub fn state_digest(&self) -> u64 {
+        let mut w = StateWriter::new();
+        self.save_state(&mut w);
+        fnv1a64(w.bytes())
+    }
+
+    /// The determinism auditor's digest samples so far.
+    pub fn digests(&self) -> &[DigestRecord] {
+        &self.digests
+    }
+
+    /// Replaces the digest cadence (constructed from `UCP_DIGEST` by
+    /// default). `None` disables the determinism auditor.
+    pub fn set_digest_interval(&mut self, every: Option<u64>) {
+        self.digest_every = every;
+    }
+
+    /// Instructions committed so far (whole run, not the window).
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Public diagnostics capture — the divergence bisector dumps a
+    /// replayed and a recorded machine side by side through this.
+    pub fn diagnostics(&self) -> DiagSnapshot {
+        self.diag_snapshot()
+    }
+
+    /// Runs cycles until `target` committed instructions (whole-run
+    /// count), opening the measurement window at the `warmup` boundary
+    /// exactly as [`Simulator::run_full`] would, but never closing it —
+    /// the divergence bisector's replay primitive. No checkpoints are
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Hang`] when the watchdog expires.
+    pub fn run_to_committed(&mut self, target: u64, warmup: u64) -> Result<(), SimError> {
+        while self.committed < target {
+            if self.committed >= warmup && !self.measuring {
+                self.begin_measurement();
+            }
+            self.hang_check()?;
+            self.cycle();
+            self.maybe_digest();
+        }
+        Ok(())
+    }
+
+    /// Restores the machine from raw checkpoint state bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bytes do not describe a machine built from the same
+    /// workload and configuration (geometry asserts), or are truncated or
+    /// corrupt (the integrity envelope normally rejects those first).
+    pub fn restore_from_bytes(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.restore_state(&mut r);
+        r.finish();
+    }
+
+    fn cause_code(c: CycleCause) -> u8 {
+        CycleCause::ALL
+            .iter()
+            .position(|&x| x == c)
+            .expect("every cause is in ALL") as u8
+    }
+
+    fn cause_from_code(code: u8) -> CycleCause {
+        CycleCause::ALL[code as usize]
+    }
+
+    fn save_rec_kind(w: &mut StateWriter, k: RecKind) {
+        w.put_u8(match k {
+            RecKind::Cond => 0,
+            RecKind::Indirect { is_call: false } => 1,
+            RecKind::Indirect { is_call: true } => 2,
+            RecKind::Return => 3,
+        });
+    }
+
+    fn load_rec_kind(r: &mut StateReader) -> RecKind {
+        match r.get_u8() {
+            0 => RecKind::Cond,
+            1 => RecKind::Indirect { is_call: false },
+            2 => RecKind::Indirect { is_call: true },
+            3 => RecKind::Return,
+            k => panic!("checkpoint state corrupt: record kind {k}"),
+        }
+    }
+
+    fn save_record(w: &mut StateWriter, rec: &PredRecord) {
+        w.put_addr(rec.pc);
+        Self::save_rec_kind(w, rec.kind);
+        w.put_opt_u64(rec.pos);
+        w.put_bool(rec.actual_taken);
+        w.put_addr(rec.actual_next);
+        w.put_bool(rec.mispredicted);
+        w.put_bool(rec.no_target);
+        rec.cp_bp.save_state(w);
+        rec.cp_it.save_state(w);
+        rec.cp_ras.save_state(w);
+        w.put_bool(rec.cp_alt.is_some());
+        if let Some((a, b)) = &rec.cp_alt {
+            a.save_state(w);
+            b.save_state(w);
+        }
+        w.put_bool(rec.scl.is_some());
+        if let Some(p) = &rec.scl {
+            p.save_state(w);
+        }
+        w.put_bool(rec.itt.is_some());
+        if let Some(p) = &rec.itt {
+            p.save_state(w);
+        }
+        w.put_bool(rec.alt_scl.is_some());
+        if let Some(p) = &rec.alt_scl {
+            p.save_state(w);
+        }
+        w.put_bool(rec.alt_itt.is_some());
+        if let Some(p) = &rec.alt_itt {
+            p.save_state(w);
+        }
+        w.put_bool(rec.h2p_tage);
+        w.put_bool(rec.h2p_ucp);
+    }
+
+    fn load_record(r: &mut StateReader) -> PredRecord {
+        PredRecord {
+            pc: r.get_addr(),
+            kind: Self::load_rec_kind(r),
+            pos: r.get_opt_u64(),
+            actual_taken: r.get_bool(),
+            actual_next: r.get_addr(),
+            mispredicted: r.get_bool(),
+            no_target: r.get_bool(),
+            cp_bp: HistCheckpoint::load_state(r),
+            cp_it: HistCheckpoint::load_state(r),
+            cp_ras: RasCheckpoint::load_state(r),
+            cp_alt: r
+                .get_bool()
+                .then(|| (HistCheckpoint::load_state(r), HistCheckpoint::load_state(r))),
+            scl: r.get_bool().then(|| SclPrediction::load_state(r)),
+            itt: r.get_bool().then(|| IttagePrediction::load_state(r)),
+            alt_scl: r.get_bool().then(|| SclPrediction::load_state(r)),
+            alt_itt: r.get_bool().then(|| IttagePrediction::load_state(r)),
+            h2p_tage: r.get_bool(),
+            h2p_ucp: r.get_bool(),
+        }
+    }
+
+    fn save_block(w: &mut StateWriter, b: &FetchBlock) {
+        w.put_addr(b.start);
+        w.put_u8(b.n);
+        w.put_u8(b.n_cond);
+        w.put_opt_u64(b.pos);
+        w.put_u8(b.diverge_at);
+        w.put_opt_u64(b.fetch_ready);
+        w.put_u8(b.n_recs);
+        for &(o, id) in &b.recs {
+            w.put_u8(o);
+            w.put_u64(id);
+        }
+    }
+
+    fn load_block(r: &mut StateReader) -> FetchBlock {
+        let start = r.get_addr();
+        let n = r.get_u8();
+        let n_cond = r.get_u8();
+        let pos = r.get_opt_u64();
+        let diverge_at = r.get_u8();
+        let fetch_ready = r.get_opt_u64();
+        let n_recs = r.get_u8();
+        let mut recs = [(0u8, 0u64); MAX_BLOCK_RECS];
+        for slot in &mut recs {
+            *slot = (r.get_u8(), r.get_u64());
+        }
+        FetchBlock {
+            start,
+            n,
+            n_cond,
+            pos,
+            diverge_at,
+            fetch_ready,
+            recs,
+            n_recs,
+        }
+    }
+
+    /// Serializes the complete mutable machine state, every component in
+    /// declaration order. Geometry and configuration are never written —
+    /// a restore target must be built from the same `SimConfig` and
+    /// workload (asserted where cheap). Container iteration is forced
+    /// into a deterministic order (records sorted by id, the resolution
+    /// heap sorted) so identical machines always produce identical bytes.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.mark(0x5349_4d30);
+        // Workload state: the oracle RNG and the materialized stream
+        // (instructions are rebuilt from the program on restore).
+        self.oracle.save_state(w);
+        w.put_u64(self.stream_base);
+        w.put_usize(self.stream.len());
+        for d in &self.stream {
+            w.put_addr(d.pc);
+            w.put_addr(d.next_pc);
+            w.put_bool(d.taken);
+            w.put_addr(d.mem_addr);
+        }
+        w.put_u64(self.now);
+        // Predictors.
+        self.bp.save_state(w);
+        self.bp_hist.save_state(w);
+        self.ittage.save_state(w);
+        self.it_hist.save_state(w);
+        self.btb.save_state(w);
+        self.ras.save_state(w);
+        w.mark(0x5349_4d31);
+        // µ-op cache, memory hierarchy, prefetchers, UCP engine.
+        w.put_bool(self.uop_cache.is_some());
+        if let Some(uc) = &self.uop_cache {
+            uc.save_state(w);
+        }
+        self.hier.save_state(w);
+        self.prefetcher.save_state(w);
+        w.put_usize(self.prefetch_pq.len());
+        for &line in self.prefetch_pq.iter() {
+            w.put_addr(line);
+        }
+        w.put_bool(self.mrc.is_some());
+        if let Some(m) = &self.mrc {
+            m.save_state(w);
+        }
+        w.put_bool(self.mrc_filling);
+        w.put_u32(self.mrc_stream_left);
+        w.put_bool(self.ucp.is_some());
+        if let Some(u) = &self.ucp {
+            u.save_state(w);
+        }
+        w.mark(0x5349_4d32);
+        // Address generation.
+        w.put_addr(self.agen_pc);
+        w.put_opt_u64(self.agen_pos);
+        w.put_u64(self.agen_stall_until);
+        w.put_bool(self.agen_dead);
+        w.put_u32(self.agen_window_penalty);
+        w.put_opt_u64(self.pending_mispredict);
+        w.put_u64(self.demand_btb_banks);
+        w.put_u8(Self::cause_code(self.agen_stall_kind));
+        // FTQ, µ-op queue and delivery state.
+        w.put_usize(self.ftq.len());
+        for b in self.ftq.iter() {
+            Self::save_block(w, b);
+        }
+        w.put_usize(self.uopq.len());
+        for e in self.uopq.iter() {
+            w.put_opt_u64(e.pos);
+            w.put_u64(e.ready);
+            w.put_opt_u64(e.rec);
+        }
+        w.put_u8(match self.mode {
+            Mode::Stream => 0,
+            Mode::Build => 1,
+        });
+        w.put_u64(self.fetch_stall_until);
+        w.put_u32(self.consec_uop_hits);
+        w.put_u8(self.head_delivered);
+        w.put_u32(self.ideal_brcond_left);
+        // In-flight prediction records, sorted by id — HashMap iteration
+        // order must never leak into the checkpoint bytes.
+        let mut ids: Vec<u64> = self.records.keys().copied().collect();
+        ids.sort_unstable();
+        w.put_usize(ids.len());
+        for id in ids {
+            w.put_u64(id);
+            Self::save_record(w, &self.records[&id]);
+        }
+        w.put_usize(self.rec_order.len());
+        for &id in &self.rec_order {
+            w.put_u64(id);
+        }
+        w.put_u64(self.next_rec_id);
+        // Backend and the resolution calendar (heap iteration order is
+        // arbitrary for equal keys; serialize sorted).
+        self.backend.save_state(w);
+        let mut rq: Vec<(u64, u64)> = self.resolve_q.iter().map(|x| x.0).collect();
+        rq.sort_unstable();
+        w.put_usize(rq.len());
+        for (t, id) in rq {
+            w.put_u64(t);
+            w.put_u64(id);
+        }
+        w.mark(0x5349_4d33);
+        // Commit bookkeeping and the measurement window.
+        w.put_u64(self.committed);
+        w.put_u64(self.last_commit_cycle);
+        w.put_opt_u64(self.last_retired_pc.map(Addr::raw));
+        w.put_bool(self.measuring);
+        w.put_bool(self.measure_state.is_some());
+        if let Some(ms) = &self.measure_state {
+            w.put_u64(ms.start_cycle);
+            w.put_u64(ms.start_committed);
+            w.put_u64(ms.l1i0.hits);
+            w.put_u64(ms.l1i0.misses);
+            w.put_u64(ms.l1i0.fills);
+            w.put_u64(ms.l1i0.prefetch_fills);
+            w.put_u64(ms.l1i0.prefetch_useful);
+            w.put_bool(ms.ucp0.is_some());
+            if let Some(u0) = &ms.ucp0 {
+                u0.save_state(w);
+            }
+            w.put_str(&serde_json::to_string(&ms.reg0).expect("snapshot serializes"));
+        }
+        // Aggregate statistics and the registry contents go through serde
+        // — both are wide, growing structs whose JSON form already has a
+        // stable field order.
+        w.put_str(&serde_json::to_string(&self.stats).expect("stats serialize"));
+        w.put_str(
+            &serde_json::to_string(&self.tele.handle.registry.snapshot())
+                .expect("registry snapshot serializes"),
+        );
+        w.put_bool(self.sampler.is_some());
+        if let Some(s) = &self.sampler {
+            w.put_str(&serde_json::to_string(&s.export_state()).expect("sampler state serializes"));
+        }
+        // Fault-injection progress and the determinism auditor.
+        w.put_bool(self.skew_applied);
+        w.put_u64(self.last_digest_committed);
+        w.put_usize(self.digests.len());
+        for d in &self.digests {
+            w.put_u64(d.committed);
+            w.put_u64(d.cycle);
+            w.put_u64(d.digest);
+        }
+        w.mark(0x5349_4d34);
+    }
+
+    /// Restores state written by [`Simulator::save_state`]. The receiver
+    /// must have been built from the same program, seed and `SimConfig`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any geometry or configuration mismatch, and on corrupt
+    /// or truncated state (the integrity envelope rejects those before
+    /// this runs; the suite layer catches the rest at its unwind
+    /// boundary).
+    pub fn restore_state(&mut self, r: &mut StateReader) {
+        r.check(0x5349_4d30);
+        self.oracle.restore_state(r);
+        self.stream_base = r.get_u64();
+        let n = r.get_usize();
+        self.stream.clear();
+        for _ in 0..n {
+            let pc = r.get_addr();
+            let next_pc = r.get_addr();
+            let taken = r.get_bool();
+            let mem_addr = r.get_addr();
+            let inst = *self
+                .prog
+                .inst_at(pc)
+                .expect("checkpoint stream pc outside the program");
+            self.stream.push_back(DynInst {
+                pc,
+                inst,
+                next_pc,
+                taken,
+                mem_addr,
+            });
+        }
+        self.now = r.get_u64();
+        self.bp.restore_state(r);
+        self.bp_hist.restore_state(r);
+        self.ittage.restore_state(r);
+        self.it_hist.restore_state(r);
+        self.btb.restore_state(r);
+        self.ras.restore_state(r);
+        r.check(0x5349_4d31);
+        let has_uc = r.get_bool();
+        assert_eq!(
+            has_uc,
+            self.uop_cache.is_some(),
+            "µ-op cache configuration mismatch"
+        );
+        if let Some(uc) = self.uop_cache.as_mut() {
+            uc.restore_state(r);
+        }
+        self.hier.restore_state(r);
+        self.prefetcher.restore_state(r);
+        let n = r.get_usize();
+        self.prefetch_pq.clear();
+        for _ in 0..n {
+            self.prefetch_pq
+                .push(r.get_addr())
+                .expect("prefetch queue geometry mismatch");
+        }
+        let has_mrc = r.get_bool();
+        assert_eq!(has_mrc, self.mrc.is_some(), "MRC configuration mismatch");
+        if let Some(m) = self.mrc.as_mut() {
+            m.restore_state(r);
+        }
+        self.mrc_filling = r.get_bool();
+        self.mrc_stream_left = r.get_u32();
+        let has_ucp = r.get_bool();
+        assert_eq!(has_ucp, self.ucp.is_some(), "UCP configuration mismatch");
+        if let Some(u) = self.ucp.as_mut() {
+            u.restore_state(r);
+        }
+        r.check(0x5349_4d32);
+        self.agen_pc = r.get_addr();
+        self.agen_pos = r.get_opt_u64();
+        self.agen_stall_until = r.get_u64();
+        self.agen_dead = r.get_bool();
+        self.agen_window_penalty = r.get_u32();
+        self.pending_mispredict = r.get_opt_u64();
+        self.demand_btb_banks = r.get_u64();
+        self.agen_stall_kind = Self::cause_from_code(r.get_u8());
+        let n = r.get_usize();
+        self.ftq.clear();
+        for _ in 0..n {
+            let b = Self::load_block(r);
+            self.ftq.push(b).expect("FTQ geometry mismatch");
+        }
+        let n = r.get_usize();
+        self.uopq.clear();
+        for _ in 0..n {
+            let e = UopQEntry {
+                pos: r.get_opt_u64(),
+                ready: r.get_u64(),
+                rec: r.get_opt_u64(),
+            };
+            self.uopq.push(e).expect("µ-op queue geometry mismatch");
+        }
+        self.mode = match r.get_u8() {
+            0 => Mode::Stream,
+            1 => Mode::Build,
+            m => panic!("checkpoint state corrupt: mode {m}"),
+        };
+        self.fetch_stall_until = r.get_u64();
+        self.consec_uop_hits = r.get_u32();
+        self.head_delivered = r.get_u8();
+        self.ideal_brcond_left = r.get_u32();
+        let n = r.get_usize();
+        self.records.clear();
+        for _ in 0..n {
+            let id = r.get_u64();
+            let rec = Self::load_record(r);
+            self.records.insert(id, rec);
+        }
+        let n = r.get_usize();
+        self.rec_order.clear();
+        for _ in 0..n {
+            self.rec_order.push_back(r.get_u64());
+        }
+        self.next_rec_id = r.get_u64();
+        self.backend.restore_state(r);
+        let n = r.get_usize();
+        self.resolve_q.clear();
+        for _ in 0..n {
+            let t = r.get_u64();
+            let id = r.get_u64();
+            self.resolve_q.push(std::cmp::Reverse((t, id)));
+        }
+        r.check(0x5349_4d33);
+        self.committed = r.get_u64();
+        self.last_commit_cycle = r.get_u64();
+        self.last_retired_pc = r.get_opt_u64().map(Addr::new);
+        self.measuring = r.get_bool();
+        self.measure_state = r.get_bool().then(|| {
+            let start_cycle = r.get_u64();
+            let start_committed = r.get_u64();
+            let l1i0 = CacheStats {
+                hits: r.get_u64(),
+                misses: r.get_u64(),
+                fills: r.get_u64(),
+                prefetch_fills: r.get_u64(),
+                prefetch_useful: r.get_u64(),
+            };
+            let ucp0 = r.get_bool().then(|| {
+                let mut u = UcpStats::default();
+                u.restore_state(r);
+                u
+            });
+            let reg0: RegistrySnapshot =
+                serde_json::from_str(r.get_str()).expect("checkpoint registry baseline parses");
+            MeasureState {
+                start_cycle,
+                start_committed,
+                l1i0,
+                ucp0,
+                reg0,
+            }
+        });
+        self.stats = serde_json::from_str(r.get_str()).expect("checkpoint stats parse");
+        let snap: RegistrySnapshot =
+            serde_json::from_str(r.get_str()).expect("checkpoint registry snapshot parses");
+        self.tele.handle.registry.restore(&snap);
+        let has_sampler = r.get_bool();
+        assert_eq!(
+            has_sampler,
+            self.sampler.is_some(),
+            "interval sampler configuration mismatch \
+             (UCP_INTERVAL must match the checkpointed run)"
+        );
+        if let Some(s) = self.sampler.as_mut() {
+            let st = serde_json::from_str(r.get_str()).expect("checkpoint sampler state parses");
+            s.import_state(st);
+        }
+        self.skew_applied = r.get_bool();
+        self.last_digest_committed = r.get_u64();
+        let n = r.get_usize();
+        self.digests.clear();
+        for _ in 0..n {
+            self.digests.push(DigestRecord {
+                committed: r.get_u64(),
+                cycle: r.get_u64(),
+                digest: r.get_u64(),
+            });
+        }
+        r.check(0x5349_4d34);
+        // Per-cycle scratch is not serialized (it is dead between cycles
+        // and reset at the top of `cycle()`); clear it defensively.
+        self.demand_uop_banks = [false; 2];
+        self.delivered_uop = false;
+        self.delivered_decode = false;
+        self.deliver_blocked = None;
+    }
+}
+
+impl crate::snapshot::Checkpointable for Simulator<'_> {
+    fn component_id(&self) -> &'static str {
+        "simulator"
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        Simulator::save_state(self, w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) {
+        Simulator::restore_state(self, r);
     }
 }

@@ -1,0 +1,462 @@
+//! Mid-run checkpoint/restore and the determinism auditor.
+//!
+//! A checkpoint is the *complete* mutable state of a [`crate::Simulator`]
+//! — pipeline, predictors, µ-op cache, UCP engine, memory hierarchy,
+//! statistics and telemetry — serialized with the [`sim_isa::StateWriter`]
+//! codec and wrapped in the result cache's integrity envelope (checksummed
+//! header + atomic rename), so a torn or corrupted checkpoint is detected
+//! on read and quarantined rather than silently restored.
+//!
+//! File layout inside the envelope payload:
+//!
+//! ```text
+//! <CheckpointMeta as one JSON line>\n
+//! <raw component state bytes>
+//! ```
+//!
+//! The meta line embeds the workload spec and simulator config as JSON, so
+//! offline tools (`ucp-bisect`) can rebuild the exact simulation from the
+//! checkpoint directory alone. Checkpoints are named
+//! `ckpt-<committed>.bin` under a per-run directory keyed by a slug of
+//! (workload, seed, config, run lengths); a keep-last-k policy bounds disk
+//! use.
+
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+use sim_isa::{fnv1a64, StateReader, StateWriter};
+use std::path::{Path, PathBuf};
+use ucp_telemetry::envelope::{quarantine, read_envelope_bytes, write_envelope_bytes};
+use ucp_telemetry::{CacheReadError, FaultPlan};
+
+/// Checkpoint format version; bumped whenever any component's serialized
+/// layout changes. Doubles as the envelope `model_version`, so stale
+/// checkpoints fail integrity verification instead of mis-restoring.
+pub const CKPT_VERSION: u32 = 1;
+
+/// Default number of checkpoints retained per run.
+pub const DEFAULT_CKPT_KEEP: usize = 3;
+
+/// A component that can serialize and restore its full mutable state.
+///
+/// Implementations must be *total*: every field that can influence future
+/// simulation behaviour is written by `save_state` and overwritten by
+/// `restore_state` (geometry/configuration is excluded — it is rebuilt
+/// from the config and asserted on restore). Telemetry handles are
+/// excluded too: they are rebound on attach, and the registry contents are
+/// checkpointed separately at the simulator level.
+pub trait Checkpointable {
+    /// Stable identifier used in digests and divergence reports.
+    fn component_id(&self) -> &'static str;
+
+    /// Serializes the mutable state into `w`.
+    fn save_state(&self, w: &mut StateWriter);
+
+    /// Restores state written by `save_state`. The receiver must have been
+    /// built from the same configuration.
+    fn restore_state(&mut self, r: &mut StateReader);
+
+    /// 64-bit FNV-1a digest of the serialized state.
+    fn state_digest(&self) -> u64 {
+        let mut w = StateWriter::new();
+        self.save_state(&mut w);
+        fnv1a64(&w.into_bytes())
+    }
+}
+
+/// Everything needed to identify and resume a checkpoint, stored as the
+/// first (JSON) line of the payload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckpointMeta {
+    /// Checkpoint format version ([`CKPT_VERSION`]).
+    pub version: u32,
+    /// Workload name.
+    pub workload: String,
+    /// The full `WorkloadSpec`, as JSON.
+    pub spec_json: String,
+    /// The full `SimConfig`, as JSON.
+    pub cfg_json: String,
+    /// Workload seed actually used (suite retries perturb the spec seed).
+    pub seed: u64,
+    /// Warm-up length of the interrupted run (instructions) — replaying
+    /// tools need it to open the measurement window at the same boundary.
+    pub warmup: u64,
+    /// Measured length of the interrupted run (instructions).
+    pub measure: u64,
+    /// Instructions committed at capture time (whole run).
+    pub committed: u64,
+    /// Machine cycle at capture time.
+    pub cycle: u64,
+    /// FNV-1a digest of the state bytes that follow the meta line.
+    pub digest: u64,
+}
+
+/// One determinism-auditor sample: the machine digest after `committed`
+/// instructions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DigestRecord {
+    /// Instructions committed (whole run) when the digest was taken.
+    pub committed: u64,
+    /// Machine cycle when the digest was taken.
+    pub cycle: u64,
+    /// FNV-1a digest of the full serialized machine state.
+    pub digest: u64,
+}
+
+/// `UCP_CKPT` policy: checkpoint every `every` committed instructions,
+/// keep the newest `keep` on disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint interval in committed instructions.
+    pub every: u64,
+    /// Checkpoints retained per run directory.
+    pub keep: usize,
+}
+
+/// Reads `UCP_CKPT`: `Ok(None)` disables checkpointing (unset, empty,
+/// `0`, `off`), otherwise `<instructions>[:<keep>]` (keep defaults to
+/// [`DEFAULT_CKPT_KEEP`]).
+///
+/// # Errors
+///
+/// Malformed values are a hard configuration error, consistent with
+/// `UCP_WATCHDOG` and `UCP_FAULT`.
+pub fn ckpt_from_env() -> Result<Option<CheckpointPolicy>, String> {
+    let Ok(s) = std::env::var("UCP_CKPT") else {
+        return Ok(None);
+    };
+    let s = s.trim().to_ascii_lowercase();
+    if s.is_empty() || s == "off" || s == "0" {
+        return Ok(None);
+    }
+    let err = || {
+        format!(
+            "UCP_CKPT=`{s}` is not a checkpoint interval; \
+             expected `<instructions>[:<keep>]`, `0`, or `off`"
+        )
+    };
+    let (every_s, keep_s) = match s.split_once(':') {
+        Some((e, k)) => (e, Some(k)),
+        None => (s.as_str(), None),
+    };
+    let every = every_s.parse::<u64>().map_err(|_| err())?;
+    if every == 0 {
+        return Ok(None);
+    }
+    let keep = match keep_s {
+        Some(k) => match k.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(err()),
+        },
+        None => DEFAULT_CKPT_KEEP,
+    };
+    Ok(Some(CheckpointPolicy { every, keep }))
+}
+
+/// Reads `UCP_DIGEST`: `Ok(None)` disables the determinism auditor
+/// (unset, empty, `0`, `off`), otherwise the digest interval in committed
+/// instructions.
+///
+/// # Errors
+///
+/// Malformed values are a hard configuration error, consistent with
+/// `UCP_WATCHDOG` and `UCP_CKPT`.
+pub fn digest_from_env() -> Result<Option<u64>, String> {
+    let Ok(s) = std::env::var("UCP_DIGEST") else {
+        return Ok(None);
+    };
+    let s = s.trim().to_ascii_lowercase();
+    if s.is_empty() || s == "off" {
+        return Ok(None);
+    }
+    match s.parse::<u64>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "UCP_DIGEST=`{s}` is not an instruction count; \
+             expected an integer, `0`, or `off`"
+        )),
+    }
+}
+
+/// Root directory for checkpoints: `UCP_CKPT_DIR`, else
+/// `target/ucp-ckpt`.
+pub fn ckpt_root() -> PathBuf {
+    std::env::var("UCP_CKPT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target").join("ucp-ckpt"))
+}
+
+/// Stable per-run directory slug: a digest of everything that determines
+/// the simulated trajectory. Suite retries perturb the seed, so a retry
+/// never resumes a checkpoint from a different trajectory.
+pub fn run_slug(workload: &str, seed: u64, cfg_json: &str, warmup: u64, measure: u64) -> String {
+    let key = format!("{workload}|{seed:#x}|{cfg_json}|w{warmup}|m{measure}");
+    format!("{workload}-{:016x}", fnv1a64(key.as_bytes()))
+}
+
+/// Path of the checkpoint taken at `committed` instructions.
+pub fn checkpoint_path(dir: &Path, committed: u64) -> PathBuf {
+    dir.join(format!("ckpt-{committed:012}.bin"))
+}
+
+fn committed_of(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let n = name.strip_prefix("ckpt-")?.strip_suffix(".bin")?;
+    n.parse().ok()
+}
+
+/// Checkpoints in `dir`, sorted by committed-instruction count ascending.
+/// Quarantined and foreign files are ignored.
+pub fn list_checkpoints(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out: Vec<(u64, PathBuf)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let p = e.path();
+            committed_of(&p).map(|c| (c, p))
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Serializes a checkpoint payload: meta line + state bytes.
+pub fn compose_checkpoint(meta: &CheckpointMeta, state: &[u8]) -> Vec<u8> {
+    let meta_line = serde_json::to_string(meta).expect("checkpoint meta serializes");
+    let mut payload = Vec::with_capacity(meta_line.len() + 1 + state.len());
+    payload.extend_from_slice(meta_line.as_bytes());
+    payload.push(b'\n');
+    payload.extend_from_slice(state);
+    payload
+}
+
+/// Splits an envelope payload back into meta and state bytes, verifying
+/// the meta's own state digest (defence in depth below the envelope
+/// checksum, and the hook the divergence bisector keys on).
+pub fn parse_checkpoint(payload: &[u8]) -> Result<(CheckpointMeta, Vec<u8>), String> {
+    let split = payload
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("checkpoint payload has no meta line")?;
+    let meta_line = std::str::from_utf8(&payload[..split])
+        .map_err(|e| format!("checkpoint meta line is not UTF-8: {e}"))?;
+    let meta: CheckpointMeta =
+        serde_json::from_str(meta_line).map_err(|e| format!("unparseable checkpoint meta: {e}"))?;
+    if meta.version != CKPT_VERSION {
+        return Err(format!(
+            "checkpoint version {} (current {CKPT_VERSION})",
+            meta.version
+        ));
+    }
+    let state = payload[split + 1..].to_vec();
+    let digest = fnv1a64(&state);
+    if digest != meta.digest {
+        return Err(format!(
+            "state digest {digest:#018x} != meta digest {:#018x}",
+            meta.digest
+        ));
+    }
+    Ok((meta, state))
+}
+
+/// Writes a checkpoint atomically inside the integrity envelope and prunes
+/// the directory down to the newest `keep` checkpoints. `fault` lets the
+/// injection harness tear this write (the `torn_write` site).
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] on any filesystem failure.
+pub fn write_checkpoint(
+    dir: &Path,
+    meta: &CheckpointMeta,
+    state: &[u8],
+    keep: usize,
+    fault: Option<&FaultPlan>,
+) -> Result<PathBuf, SimError> {
+    let io_err = |path: &Path, e: std::io::Error| SimError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    };
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let path = checkpoint_path(dir, meta.committed);
+    let payload = compose_checkpoint(meta, state);
+    write_envelope_bytes(&path, CKPT_VERSION, &payload, fault).map_err(|e| io_err(&path, e))?;
+    // Keep-last-k: drop the oldest beyond `keep` (the just-written one is
+    // always newest by construction — commit counts only grow).
+    let all = list_checkpoints(dir);
+    if all.len() > keep {
+        for (_, old) in &all[..all.len() - keep] {
+            if let Err(e) = std::fs::remove_file(old) {
+                eprintln!("[ucp-ckpt] could not prune {}: {e}", old.display());
+            }
+        }
+    }
+    Ok(path)
+}
+
+/// Loads the newest checkpoint in `dir` that passes integrity
+/// verification. Corrupt checkpoints are quarantined (renamed aside) and
+/// the next-older one is tried — the crash-recovery path after a torn
+/// write. Returns `None` when no valid checkpoint exists.
+pub fn latest_valid_checkpoint(dir: &Path) -> Option<(CheckpointMeta, Vec<u8>)> {
+    for (_, path) in list_checkpoints(dir).into_iter().rev() {
+        match read_envelope_bytes(&path, CKPT_VERSION) {
+            Ok(payload) => match parse_checkpoint(&payload) {
+                Ok(ok) => return Some(ok),
+                Err(detail) => reject(&path, &detail),
+            },
+            Err(CacheReadError::Missing) => continue,
+            Err(CacheReadError::Corrupt(detail)) => reject(&path, &detail),
+        }
+    }
+    None
+}
+
+fn reject(path: &Path, detail: &str) {
+    match quarantine(path) {
+        Some(q) => eprintln!(
+            "[ucp-ckpt] corrupt checkpoint {}: {detail}; quarantined as {}",
+            path.display(),
+            q.display()
+        ),
+        None => eprintln!(
+            "[ucp-ckpt] corrupt checkpoint {}: {detail}; could not quarantine",
+            path.display()
+        ),
+    }
+}
+
+/// Removes a run's checkpoint directory (called after a successful run —
+/// its checkpoints can never be resumed again).
+pub fn remove_run_checkpoints(dir: &Path) {
+    if dir.exists() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(committed: u64, state: &[u8]) -> CheckpointMeta {
+        CheckpointMeta {
+            version: CKPT_VERSION,
+            workload: "t".into(),
+            spec_json: "{}".into(),
+            cfg_json: "{}".into(),
+            seed: 7,
+            warmup: 0,
+            measure: 1000,
+            committed,
+            cycle: committed * 2,
+            digest: fnv1a64(state),
+        }
+    }
+
+    #[test]
+    fn payload_round_trips() {
+        let state = vec![1u8, 2, 3, 4, 5];
+        let m = meta(100, &state);
+        let payload = compose_checkpoint(&m, &state);
+        let (back, state2) = parse_checkpoint(&payload).unwrap();
+        assert_eq!(back.committed, 100);
+        assert_eq!(state2, state);
+    }
+
+    #[test]
+    fn digest_mismatch_is_rejected() {
+        let state = vec![1u8, 2, 3];
+        let mut m = meta(5, &state);
+        m.digest ^= 1;
+        let payload = compose_checkpoint(&m, &state);
+        assert!(parse_checkpoint(&payload).unwrap_err().contains("digest"));
+    }
+
+    #[test]
+    fn write_prune_and_load_newest() {
+        let dir = std::env::temp_dir().join(format!("ucp-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for committed in [10u64, 20, 30, 40, 50] {
+            let state = committed.to_le_bytes().to_vec();
+            write_checkpoint(&dir, &meta(committed, &state), &state, 3, None).unwrap();
+        }
+        let listed = list_checkpoints(&dir);
+        assert_eq!(
+            listed.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![30, 40, 50],
+            "keep-last-3"
+        );
+        let (m, state) = latest_valid_checkpoint(&dir).unwrap();
+        assert_eq!(m.committed, 50);
+        assert_eq!(state, 50u64.to_le_bytes().to_vec());
+        // Corrupt the newest: loader must quarantine it and fall back.
+        let (_, newest) = listed.last().unwrap().clone();
+        std::fs::write(&newest, b"garbage").unwrap();
+        let (m, _) = latest_valid_checkpoint(&dir).unwrap();
+        assert_eq!(m.committed, 40, "fell back past the corrupt newest");
+        assert!(!newest.exists(), "corrupt checkpoint was quarantined");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slug_depends_on_every_input() {
+        let a = run_slug("w", 1, "{}", 100, 200);
+        assert_ne!(a, run_slug("w", 2, "{}", 100, 200));
+        assert_ne!(a, run_slug("w", 1, "{\"x\":1}", 100, 200));
+        assert_ne!(a, run_slug("w", 1, "{}", 101, 200));
+        assert_ne!(a, run_slug("w", 1, "{}", 100, 201));
+        assert_eq!(a, run_slug("w", 1, "{}", 100, 200));
+        assert!(a.starts_with("w-"));
+    }
+
+    #[test]
+    fn ckpt_env_parses_strictly() {
+        // Env mutation: keep every UCP_CKPT case in this one test.
+        std::env::remove_var("UCP_CKPT");
+        assert_eq!(ckpt_from_env().unwrap(), None);
+        std::env::set_var("UCP_CKPT", "50000");
+        assert_eq!(
+            ckpt_from_env().unwrap(),
+            Some(CheckpointPolicy {
+                every: 50_000,
+                keep: DEFAULT_CKPT_KEEP
+            })
+        );
+        std::env::set_var("UCP_CKPT", "50000:5");
+        assert_eq!(
+            ckpt_from_env().unwrap(),
+            Some(CheckpointPolicy {
+                every: 50_000,
+                keep: 5
+            })
+        );
+        std::env::set_var("UCP_CKPT", "off");
+        assert_eq!(ckpt_from_env().unwrap(), None);
+        std::env::set_var("UCP_CKPT", "0");
+        assert_eq!(ckpt_from_env().unwrap(), None);
+        for bad in ["soon", "10:", "10:0", ":3", "1e4"] {
+            std::env::set_var("UCP_CKPT", bad);
+            let e = ckpt_from_env().unwrap_err();
+            assert!(e.contains("expected"), "{bad}: {e}");
+        }
+        std::env::remove_var("UCP_CKPT");
+    }
+
+    #[test]
+    fn digest_env_parses_strictly() {
+        // Env mutation: keep every UCP_DIGEST case in this one test.
+        std::env::remove_var("UCP_DIGEST");
+        assert_eq!(digest_from_env().unwrap(), None);
+        std::env::set_var("UCP_DIGEST", "10000");
+        assert_eq!(digest_from_env().unwrap(), Some(10_000));
+        std::env::set_var("UCP_DIGEST", "off");
+        assert_eq!(digest_from_env().unwrap(), None);
+        std::env::set_var("UCP_DIGEST", "0");
+        assert_eq!(digest_from_env().unwrap(), None);
+        std::env::set_var("UCP_DIGEST", "often");
+        assert!(digest_from_env().unwrap_err().contains("expected"));
+        std::env::remove_var("UCP_DIGEST");
+    }
+}

@@ -639,6 +639,135 @@ impl UcpEngine {
             }
         }
     }
+
+    // ---- checkpointing ----
+
+    fn save_block(w: &mut sim_isa::StateWriter, b: &AltBlock) {
+        w.put_addr(b.start);
+        w.put_u8(b.n);
+        w.put_u64(b.trigger);
+    }
+
+    fn load_block(r: &mut sim_isa::StateReader) -> AltBlock {
+        AltBlock {
+            start: r.get_addr(),
+            n: r.get_u8(),
+            trigger: r.get_u64(),
+        }
+    }
+
+    fn save_queue(w: &mut sim_isa::StateWriter, q: &BoundedQueue<AltBlock>) {
+        w.put_usize(q.len());
+        for b in q.iter() {
+            Self::save_block(w, b);
+        }
+    }
+
+    fn restore_queue(r: &mut sim_isa::StateReader, q: &mut BoundedQueue<AltBlock>) {
+        q.clear();
+        for _ in 0..r.get_usize() {
+            let b = Self::load_block(r);
+            q.push(b).expect("alt queue geometry mismatch");
+        }
+    }
+
+    /// Serializes the engine's mutable state: both alternate predictors,
+    /// the predicted-path mirrors, the Alt-RAS, the in-flight walk, and all
+    /// queues. Telemetry handles are rebound on attach, not checkpointed.
+    pub fn save_state(&self, w: &mut sim_isa::StateWriter) {
+        w.mark(0x7cb0);
+        self.alt_bp.save_state(w);
+        self.alt_bp_mirror.save_state(w);
+        w.put_bool(self.alt_ind.is_some());
+        if let Some(ind) = &self.alt_ind {
+            ind.save_state(w);
+        }
+        self.alt_ind_mirror.save_state(w);
+        self.alt_ras.save_state(w);
+        w.put_bool(self.walk.is_some());
+        if let Some(walk) = &self.walk {
+            w.put_addr(walk.pc);
+            walk.hist.save_state(w);
+            walk.path_hist.save_state(w);
+            w.put_u32(walk.weight);
+            w.put_u32(walk.threshold);
+            w.put_u32(walk.insts_since_branch);
+            w.put_u64(walk.trigger);
+            w.put_u8(walk.conflict_ctr);
+        }
+        Self::save_queue(w, &self.alt_ftq);
+        Self::save_queue(w, &self.l1i_pq);
+        w.put_usize(self.pending.len());
+        for p in &self.pending {
+            Self::save_block(w, &p.block);
+            w.put_u64(p.ready);
+        }
+        Self::save_queue(w, &self.decode_q);
+        w.put_u32(self.decode_progress);
+        w.put_u64(self.trigger_seq);
+        w.put_usize(self.recent_triggers.len());
+        for &t in &self.recent_triggers {
+            w.put_u64(t);
+        }
+        self.stats.save_state(w);
+        w.mark(0x7cb1);
+    }
+
+    /// Restores state written by [`UcpEngine::save_state`].
+    pub fn restore_state(&mut self, r: &mut sim_isa::StateReader) {
+        r.check(0x7cb0);
+        self.alt_bp.restore_state(r);
+        self.alt_bp_mirror.restore_state(r);
+        let has_ind = r.get_bool();
+        assert_eq!(
+            has_ind,
+            self.alt_ind.is_some(),
+            "UCP Alt-Ind configuration mismatch"
+        );
+        if let Some(ind) = self.alt_ind.as_mut() {
+            ind.restore_state(r);
+        }
+        self.alt_ind_mirror.restore_state(r);
+        self.alt_ras.restore_state(r);
+        self.walk = if r.get_bool() {
+            let pc = r.get_addr();
+            // HistoryState carries geometry; clone the same-geometry
+            // mirrors and overwrite their contents.
+            let mut hist = self.alt_bp_mirror.clone();
+            hist.restore_state(r);
+            let mut path_hist = self.alt_ind_mirror.clone();
+            path_hist.restore_state(r);
+            Some(AltWalk {
+                pc,
+                hist,
+                path_hist,
+                weight: r.get_u32(),
+                threshold: r.get_u32(),
+                insts_since_branch: r.get_u32(),
+                trigger: r.get_u64(),
+                conflict_ctr: r.get_u8(),
+            })
+        } else {
+            None
+        };
+        Self::restore_queue(r, &mut self.alt_ftq);
+        Self::restore_queue(r, &mut self.l1i_pq);
+        self.pending.clear();
+        for _ in 0..r.get_usize() {
+            let block = Self::load_block(r);
+            let ready = r.get_u64();
+            self.pending.push(PendingPf { block, ready });
+        }
+        Self::restore_queue(r, &mut self.decode_q);
+        self.decode_progress = r.get_u32();
+        self.trigger_seq = r.get_u64();
+        self.recent_triggers.clear();
+        for _ in 0..r.get_usize() {
+            self.recent_triggers.push_back(r.get_u64());
+        }
+        self.stats.restore_state(r);
+        r.check(0x7cb1);
+    }
 }
 
 /// The paper's Table I stopping weights for conditional predictions on the

@@ -5,11 +5,11 @@
 //! alternate paths; conflicts are arbitrated by the pipeline using
 //! [`Btb::bank_of`] and a 3-bit alternate-delay counter.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use sim_isa::{Addr, BranchClass};
 
 /// BTB geometry.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BtbConfig {
     /// Total entries (sets × ways).
     pub total_entries: usize,
@@ -198,6 +198,37 @@ impl Btb {
     /// valid(1) + LRU(2) per entry.
     pub fn storage_bits(&self) -> u64 {
         self.cfg.total_entries as u64 * 54
+    }
+
+    /// Serializes the mutable state (slots, LRU stamp, hit statistics).
+    pub fn save_state(&self, w: &mut sim_isa::StateWriter) {
+        w.put_usize(self.slots.len());
+        for s in &self.slots {
+            w.put_bool(s.valid);
+            w.put_u32(s.tag);
+            w.put_addr(s.target);
+            w.put_u8(s.class.code());
+            w.put_u64(s.lru);
+        }
+        w.put_u64(self.stamp);
+        w.put_u64(self.lookups);
+        w.put_u64(self.hits);
+    }
+
+    /// Restores state written by [`Btb::save_state`].
+    pub fn restore_state(&mut self, r: &mut sim_isa::StateReader) {
+        let n = r.get_usize();
+        assert_eq!(n, self.slots.len(), "BTB geometry mismatch");
+        for s in &mut self.slots {
+            s.valid = r.get_bool();
+            s.tag = r.get_u32();
+            s.target = r.get_addr();
+            s.class = BranchClass::from_code(r.get_u8());
+            s.lru = r.get_u64();
+        }
+        self.stamp = r.get_u64();
+        self.lookups = r.get_u64();
+        self.hits = r.get_u64();
     }
 }
 

@@ -10,12 +10,12 @@
 //! boundary, 8 µ-ops, >2 branches) are enforced by the pipeline's entry
 //! builder; this module stores, replaces and finds entries.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use sim_isa::Addr;
 use ucp_telemetry::{Category, Counter, Telemetry, Tracer};
 
 /// µ-op cache geometry.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UopCacheConfig {
     /// Number of sets.
     pub sets: usize,
@@ -65,7 +65,7 @@ impl UopCacheConfig {
 }
 
 /// Why an entry ended (recorded for diagnostics and tests).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EntryEnd {
     /// Ended at a predicted-taken branch.
     TakenBranch,
@@ -356,6 +356,49 @@ impl UopCache {
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
         self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    /// Serializes the mutable state (slots, LRU stamp, statistics).
+    /// Telemetry handles are rebound via [`UopCache::attach_telemetry`],
+    /// not checkpointed.
+    pub fn save_state(&self, w: &mut sim_isa::StateWriter) {
+        w.put_usize(self.slots.len());
+        for s in &self.slots {
+            w.put_bool(s.valid);
+            w.put_addr(s.start);
+            w.put_u8(s.num_uops);
+            w.put_u64(s.lru);
+            w.put_bool(s.prefetched);
+            w.put_bool(s.used);
+            w.put_u64(s.trigger);
+        }
+        w.put_u64(self.stamp);
+        w.put_u64(self.stats.lookups);
+        w.put_u64(self.stats.hits);
+        w.put_u64(self.stats.demand_fills);
+        w.put_u64(self.stats.prefetch_fills);
+        w.put_u64(self.stats.prefetch_evicted_unused);
+    }
+
+    /// Restores state written by [`UopCache::save_state`].
+    pub fn restore_state(&mut self, r: &mut sim_isa::StateReader) {
+        let n = r.get_usize();
+        assert_eq!(n, self.slots.len(), "uop-cache geometry mismatch");
+        for s in &mut self.slots {
+            s.valid = r.get_bool();
+            s.start = r.get_addr();
+            s.num_uops = r.get_u8();
+            s.lru = r.get_u64();
+            s.prefetched = r.get_bool();
+            s.used = r.get_bool();
+            s.trigger = r.get_u64();
+        }
+        self.stamp = r.get_u64();
+        self.stats.lookups = r.get_u64();
+        self.stats.hits = r.get_u64();
+        self.stats.demand_fills = r.get_u64();
+        self.stats.prefetch_fills = r.get_u64();
+        self.stats.prefetch_evicted_unused = r.get_u64();
     }
 }
 

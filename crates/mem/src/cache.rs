@@ -24,6 +24,33 @@ impl CacheConfig {
     }
 }
 
+/// Maps a deserialized level name back to a `&'static str`. The standard
+/// hierarchy names are interned; anything else leaks (bounded: configs are
+/// deserialized only by offline tools, never in the simulation loop).
+pub(crate) fn intern_name(s: &str) -> &'static str {
+    for known in ["L1I", "L1D", "L2", "LLC", "ITLB", "DTLB", "STLB"] {
+        if s == known {
+            return known;
+        }
+    }
+    Box::leak(s.to_owned().into_boxed_str())
+}
+
+impl Deserialize for CacheConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |key: &str| {
+            serde::value_get(v, key)
+                .ok_or_else(|| serde::DeError::missing_field("CacheConfig", key))
+        };
+        Ok(CacheConfig {
+            name: intern_name(&String::from_value(field("name")?)?),
+            sets: usize::from_value(field("sets")?)?,
+            ways: usize::from_value(field("ways")?)?,
+            latency: u64::from_value(field("latency")?)?,
+        })
+    }
+}
+
 /// Hit/miss/fill counters for one cache level.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
@@ -206,6 +233,43 @@ impl SetAssocCache {
     /// Number of currently valid lines.
     pub fn occupancy(&self) -> usize {
         self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Serializes the mutable state (lines, LRU stamp, statistics).
+    pub fn save_state(&self, w: &mut sim_isa::StateWriter) {
+        w.put_usize(self.lines.len());
+        for l in &self.lines {
+            w.put_u64(l.tag);
+            w.put_bool(l.valid);
+            w.put_u64(l.lru);
+            w.put_u64(l.ready);
+            w.put_bool(l.prefetched);
+        }
+        w.put_u64(self.stamp);
+        w.put_u64(self.stats.hits);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.stats.fills);
+        w.put_u64(self.stats.prefetch_fills);
+        w.put_u64(self.stats.prefetch_useful);
+    }
+
+    /// Restores state written by [`SetAssocCache::save_state`].
+    pub fn restore_state(&mut self, r: &mut sim_isa::StateReader) {
+        let n = r.get_usize();
+        assert_eq!(n, self.lines.len(), "cache geometry mismatch");
+        for l in &mut self.lines {
+            l.tag = r.get_u64();
+            l.valid = r.get_bool();
+            l.lru = r.get_u64();
+            l.ready = r.get_u64();
+            l.prefetched = r.get_bool();
+        }
+        self.stamp = r.get_u64();
+        self.stats.hits = r.get_u64();
+        self.stats.misses = r.get_u64();
+        self.stats.fills = r.get_u64();
+        self.stats.prefetch_fills = r.get_u64();
+        self.stats.prefetch_useful = r.get_u64();
     }
 }
 

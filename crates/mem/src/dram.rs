@@ -98,6 +98,29 @@ impl Dram {
             self.row_hits as f64 / self.accesses as f64
         }
     }
+
+    /// Serializes the mutable state (bank busy/open-row, access counters).
+    pub fn save_state(&self, w: &mut sim_isa::StateWriter) {
+        w.put_usize(self.banks.len());
+        for &(busy, row) in &self.banks {
+            w.put_u64(busy);
+            w.put_u64(row);
+        }
+        w.put_u64(self.accesses);
+        w.put_u64(self.row_hits);
+    }
+
+    /// Restores state written by [`Dram::save_state`].
+    pub fn restore_state(&mut self, r: &mut sim_isa::StateReader) {
+        let n = r.get_usize();
+        assert_eq!(n, self.banks.len(), "DRAM bank-count mismatch");
+        for b in &mut self.banks {
+            b.0 = r.get_u64();
+            b.1 = r.get_u64();
+        }
+        self.accesses = r.get_u64();
+        self.row_hits = r.get_u64();
+    }
 }
 
 #[cfg(test)]

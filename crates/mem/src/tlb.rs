@@ -5,7 +5,7 @@
 //! STLB, and an STLB miss pays a fixed page-walk latency.
 
 use crate::cache::{CacheConfig, LookupResult, SetAssocCache};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use sim_isa::Addr;
 
 const PAGE_BITS: u64 = 12;
@@ -21,6 +21,20 @@ pub struct TlbConfig {
     pub ways: usize,
     /// Hit latency in cycles.
     pub latency: u64,
+}
+
+impl Deserialize for TlbConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |key: &str| {
+            serde::value_get(v, key).ok_or_else(|| serde::DeError::missing_field("TlbConfig", key))
+        };
+        Ok(TlbConfig {
+            name: crate::cache::intern_name(&String::from_value(field("name")?)?),
+            entries: usize::from_value(field("entries")?)?,
+            ways: usize::from_value(field("ways")?)?,
+            latency: u64::from_value(field("latency")?)?,
+        })
+    }
 }
 
 /// A TLB modelled as a set-associative cache of 4 KB page translations.
@@ -76,6 +90,16 @@ impl Tlb {
     /// Demand hit rate so far.
     pub fn hit_rate(&self) -> f64 {
         self.inner.stats().hit_rate()
+    }
+
+    /// Serializes the mutable state (delegates to the inner cache).
+    pub fn save_state(&self, w: &mut sim_isa::StateWriter) {
+        self.inner.save_state(w);
+    }
+
+    /// Restores state written by [`Tlb::save_state`].
+    pub fn restore_state(&mut self, r: &mut sim_isa::StateReader) {
+        self.inner.restore_state(r);
     }
 }
 

@@ -63,6 +63,14 @@ pub trait InstPrefetcher: Send + std::fmt::Debug {
     /// Stateless prefetchers keep the default no-op.
     fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}
 
+    /// Serializes the prefetcher's mutable state into a checkpoint.
+    /// Stateless prefetchers keep the default no-op; stateful ones must
+    /// override both this and [`InstPrefetcher::restore_state`].
+    fn save_state(&self, _w: &mut sim_isa::StateWriter) {}
+
+    /// Restores state written by [`InstPrefetcher::save_state`].
+    fn restore_state(&mut self, _r: &mut sim_isa::StateReader) {}
+
     /// Moves pending prefetch candidates (line addresses) into `out`.
     fn drain(&mut self, out: &mut Vec<Addr>);
 }
@@ -135,6 +143,21 @@ impl InstPrefetcher for NextLine {
 
     fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         self.tele.attach(telemetry);
+    }
+
+    fn save_state(&self, w: &mut sim_isa::StateWriter) {
+        w.put_usize(self.pending.len());
+        for &a in &self.pending {
+            w.put_addr(a);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut sim_isa::StateReader) {
+        let n = r.get_usize();
+        self.pending.clear();
+        for _ in 0..n {
+            self.pending.push(r.get_addr());
+        }
     }
 
     fn drain(&mut self, out: &mut Vec<Addr>) {

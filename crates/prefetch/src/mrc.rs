@@ -151,6 +151,40 @@ impl Mrc {
     pub fn storage_kb(&self) -> f64 {
         self.storage_bits() as f64 / 8192.0
     }
+
+    /// Serializes the mutable state (slots, fill pointer, statistics).
+    pub fn save_state(&self, w: &mut sim_isa::StateWriter) {
+        w.put_usize(self.slots.len());
+        for s in &self.slots {
+            w.put_addr(s.tag);
+            w.put_bool(s.valid);
+            w.put_u8(s.filled);
+            w.put_u64(s.lru);
+        }
+        w.put_u64(self.stamp);
+        w.put_bool(self.filling.is_some());
+        w.put_usize(self.filling.unwrap_or(0));
+        w.put_u64(self.lookups);
+        w.put_u64(self.hits);
+    }
+
+    /// Restores state written by [`Mrc::save_state`].
+    pub fn restore_state(&mut self, r: &mut sim_isa::StateReader) {
+        let n = r.get_usize();
+        assert_eq!(n, self.slots.len(), "MRC geometry mismatch");
+        for s in &mut self.slots {
+            s.tag = r.get_addr();
+            s.valid = r.get_bool();
+            s.filled = r.get_u8();
+            s.lru = r.get_u64();
+        }
+        self.stamp = r.get_u64();
+        let has_filling = r.get_bool();
+        let filling = r.get_usize();
+        self.filling = has_filling.then_some(filling);
+        self.lookups = r.get_u64();
+        self.hits = r.get_u64();
+    }
 }
 
 #[cfg(test)]

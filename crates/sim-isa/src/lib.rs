@@ -25,10 +25,12 @@
 pub mod addr;
 pub mod inst;
 pub mod reg;
+pub mod state;
 
 pub use addr::{Addr, CACHE_LINE_BYTES, INST_BYTES, UOP_WINDOW_BYTES};
 pub use inst::{BranchClass, DynInst, ExecClass, InstKind, StaticInst};
 pub use reg::Reg;
+pub use state::{fnv1a64, StateReader, StateWriter};
 
 #[cfg(test)]
 mod tests {

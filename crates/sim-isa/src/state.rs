@@ -1,0 +1,321 @@
+//! Binary state codec for checkpoint/restore.
+//!
+//! Every stateful component of the simulator serializes its *mutable*
+//! state (never fixed geometry, which is reconstructed from the config)
+//! into a [`StateWriter`] and restores it from a [`StateReader`]. The
+//! encoding is a flat little-endian byte stream with no self-description:
+//! the component itself is the schema, and the whole-checkpoint envelope
+//! (see `ucp-core::snapshot`) carries the version and checksum that make
+//! a mismatched read detectable before any component decodes a byte.
+//!
+//! [`StateReader`] panics on underflow or on a failed [`StateReader::check`]
+//! marker. That is deliberate: the envelope checksum and version are
+//! validated *before* decoding starts, so a panic here means either a bug
+//! or in-memory corruption, and the suite runner's `catch_unwind`
+//! isolation (PR 3) converts it into a structured per-workload error
+//! instead of a process abort.
+//!
+//! Determinism contract: a component must write its state in an order
+//! that is a pure function of that state — no `HashMap` iteration order,
+//! no addresses, no timestamps. The 64-bit FNV-1a digest of the encoded
+//! bytes ([`fnv1a64`]) is then a stable fingerprint of the component
+//! state, comparable across runs, machines and platforms.
+
+use crate::Addr;
+
+/// FNV-1a 64-bit hash — the digest function for component and
+/// whole-checkpoint state fingerprints. Same constants as the result
+/// cache's key hash, kept dependency-free here so every crate in the
+/// workspace can digest its own state.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only encoder for component state.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i8(&mut self, v: i8) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Encodes a `usize` as a fixed-width u64 so checkpoints are
+    /// portable across pointer widths.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    pub fn put_addr(&mut self, a: Addr) {
+        self.put_u64(a.raw());
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// `Option<u64>` as presence byte + value.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.put_bool(true);
+                self.put_u64(x);
+            }
+            None => self.put_bool(false),
+        }
+    }
+
+    /// A structural marker. [`StateReader::check`] verifies it during
+    /// restore, so a component whose encode/decode drift out of sync
+    /// fails fast at the drift point instead of silently mis-decoding
+    /// everything after it.
+    pub fn mark(&mut self, tag: u32) {
+        self.put_u32(tag ^ 0x5AFE_5AFE);
+    }
+}
+
+/// Decoder over a component state byte slice. Panics on underflow or
+/// marker mismatch — see the module docs for why that is safe here.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(
+            self.remaining() >= n,
+            "checkpoint state underflow: need {n} bytes at offset {}, have {}",
+            self.pos,
+            self.remaining()
+        );
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    pub fn get_bool(&mut self) -> bool {
+        match self.get_u8() {
+            0 => false,
+            1 => true,
+            b => panic!("checkpoint state corrupt: bool byte {b:#x}"),
+        }
+    }
+
+    pub fn get_u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    }
+
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    pub fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    pub fn get_i32(&mut self) -> i32 {
+        i32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    pub fn get_i64(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    pub fn get_usize(&mut self) -> usize {
+        let v = self.get_u64();
+        usize::try_from(v).expect("checkpoint state corrupt: usize overflow")
+    }
+
+    pub fn get_addr(&mut self) -> Addr {
+        Addr::new(self.get_u64())
+    }
+
+    pub fn get_bytes(&mut self) -> &'a [u8] {
+        let n = self.get_usize();
+        self.take(n)
+    }
+
+    pub fn get_str(&mut self) -> &'a str {
+        std::str::from_utf8(self.get_bytes()).expect("checkpoint state corrupt: non-UTF-8 string")
+    }
+
+    pub fn get_opt_u64(&mut self) -> Option<u64> {
+        self.get_bool().then(|| self.get_u64())
+    }
+
+    /// Verifies a [`StateWriter::mark`] written at the same structural
+    /// point during save.
+    pub fn check(&mut self, tag: u32) {
+        let got = self.get_u32() ^ 0x5AFE_5AFE;
+        assert_eq!(
+            got, tag,
+            "checkpoint state corrupt: marker {got:#x} where {tag:#x} expected"
+        );
+    }
+
+    /// Asserts the whole slice was consumed — every restore should end
+    /// with this so trailing garbage (a schema drift symptom) is caught.
+    pub fn finish(self) {
+        assert_eq!(
+            self.remaining(),
+            0,
+            "checkpoint state corrupt: {} trailing bytes",
+            self.remaining()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = StateWriter::new();
+        w.mark(1);
+        w.put_u8(0xAB);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_i8(-7);
+        w.put_i32(-123_456);
+        w.put_i64(i64::MIN + 1);
+        w.put_usize(42);
+        w.put_addr(Addr::new(0x4000));
+        w.put_bytes(&[1, 2, 3]);
+        w.put_str("µop");
+        w.put_opt_u64(Some(9));
+        w.put_opt_u64(None);
+        w.mark(2);
+
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        r.check(1);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert!(r.get_bool());
+        assert!(!r.get_bool());
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 3);
+        assert_eq!(r.get_i8(), -7);
+        assert_eq!(r.get_i32(), -123_456);
+        assert_eq!(r.get_i64(), i64::MIN + 1);
+        assert_eq!(r.get_usize(), 42);
+        assert_eq!(r.get_addr(), Addr::new(0x4000));
+        assert_eq!(r.get_bytes(), &[1, 2, 3]);
+        assert_eq!(r.get_str(), "µop");
+        assert_eq!(r.get_opt_u64(), Some(9));
+        assert_eq!(r.get_opt_u64(), None);
+        r.check(2);
+        r.finish();
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn reader_panics_on_underflow() {
+        let mut r = StateReader::new(&[1, 2]);
+        r.get_u64();
+    }
+
+    #[test]
+    #[should_panic(expected = "marker")]
+    fn reader_panics_on_marker_mismatch() {
+        let mut w = StateWriter::new();
+        w.mark(7);
+        let b = w.into_bytes();
+        StateReader::new(&b).check(8);
+    }
+}

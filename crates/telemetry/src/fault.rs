@@ -21,9 +21,13 @@
 //!   * `invariant` — the `nth` workload's cycle accounting is skewed by
 //!     one cycle, forcing an `InvariantViolation`,
 //!   * `torn_write` — the `nth` result-cache write is torn: only half the
-//!     payload reaches disk, so the next read must quarantine the entry.
+//!     payload reaches disk, so the next read must quarantine the entry,
+//!   * `kill` — the `nth` checkpoint write panics the process right
+//!     *after* the write lands: a mid-run kill the `UCP_CKPT` resume
+//!     path must recover from bit-identically.
 //! * `nth` — for the per-workload sites, the 1-based suite index of the
-//!   victim workload; for `torn_write`, the 1-based ordinal of the write.
+//!   victim workload; for the counter-keyed sites (`torn_write`, `kill`),
+//!   the 1-based ordinal of the write.
 //! * `times` — optional cap on how many times the site fires in total
 //!   (default: unlimited). `panic:3` makes workload 3 fail on *every*
 //!   retry (a deterministic fault the runner must give up on);
@@ -45,7 +49,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// The named fault sites `UCP_FAULT` can arm.
-pub const SITES: &[&str] = &["panic", "hang", "invariant", "torn_write"];
+pub const SITES: &[&str] = &["panic", "hang", "invariant", "torn_write", "kill"];
 
 #[derive(Debug)]
 struct SiteState {
@@ -137,9 +141,9 @@ impl FaultPlan {
             .any(Self::consume)
     }
 
-    /// Counter-keyed sites (`torn_write`): every call is one hit; the
-    /// site fires from the `nth` hit onward while the `times` budget
-    /// lasts.
+    /// Counter-keyed sites (`torn_write`, `kill`): every call is one
+    /// hit; the site fires from the `nth` hit onward while the `times`
+    /// budget lasts.
     pub fn should_fire(&self, site: &str) -> bool {
         self.sites
             .iter()

@@ -71,6 +71,7 @@
 //! ```
 
 pub mod accounting;
+pub mod envelope;
 pub mod export;
 pub mod fault;
 pub mod interval;
@@ -78,9 +79,12 @@ pub mod registry;
 pub mod tracer;
 
 pub use accounting::{AccountingBreakdown, CycleAccounting, CycleCause, TOTAL_CYCLES_PATH};
+pub use envelope::CacheReadError;
 pub use export::{snapshot_table, to_chrome_trace, to_chrome_trace_with_counters, to_jsonl};
 pub use fault::FaultPlan;
-pub use interval::{intervals_to_csv, intervals_to_jsonl, IntervalRecord, IntervalSampler};
+pub use interval::{
+    intervals_to_csv, intervals_to_jsonl, IntervalRecord, IntervalSampler, SamplerState,
+};
 pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use tracer::{Category, CategorySet, TraceEvent, Tracer};
 

@@ -36,6 +36,13 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Overwrites the counter. Counters are monotonic in normal
+    /// operation; this exists only for the checkpoint-restore path,
+    /// which rewinds every instrument to a snapshotted value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
 }
 
 struct HistogramInner {
@@ -74,6 +81,17 @@ impl Histogram {
     /// Number of observations so far.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the histogram's state from a snapshot
+    /// (checkpoint-restore path; see [`Counter::set`]).
+    fn restore(&self, snap: &HistogramSnapshot) {
+        let dense = snap.to_dense();
+        for (bucket, &n) in self.0.buckets.iter().zip(dense.iter()) {
+            bucket.store(n, Ordering::Relaxed);
+        }
+        self.0.count.store(snap.count, Ordering::Relaxed);
+        self.0.sum.store(snap.sum, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -134,19 +152,57 @@ impl Registry {
             .clone()
     }
 
+    /// Rewinds every instrument to the values in `snap` — the
+    /// checkpoint-restore path. Instruments registered in this registry
+    /// but absent from the snapshot are zeroed (they did not exist, or
+    /// held zero, when the snapshot was taken); snapshot paths not yet
+    /// registered are created. Existing handles stay valid because the
+    /// underlying cells are overwritten in place, never replaced.
+    pub fn restore(&self, snap: &RegistrySnapshot) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        for (path, c) in &inner.counters {
+            c.set(snap.counters.get(path).copied().unwrap_or(0));
+        }
+        for (path, h) in &inner.histograms {
+            match snap.histograms.get(path) {
+                Some(s) => h.restore(s),
+                None => h.restore(&HistogramSnapshot::default()),
+            }
+        }
+        for (path, &v) in &snap.counters {
+            inner.counters.entry(path.clone()).or_default().set(v);
+        }
+        for (path, s) in &snap.histograms {
+            inner.histograms.entry(path.clone()).or_default().restore(s);
+        }
+    }
+
     /// A serializable copy of every instrument's current state.
+    ///
+    /// Zero-valued counters and empty histograms are omitted: whether an
+    /// instrument has been *registered* depends on which code paths have
+    /// run, and a checkpoint digest must not distinguish a fresh machine
+    /// from a restored one by which untouched instruments happen to
+    /// exist. [`Registry::restore`] treats absent paths as zero, so the
+    /// omission round-trips.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let inner = self.inner.lock().expect("registry poisoned");
         RegistrySnapshot {
             counters: inner
                 .counters
                 .iter()
-                .map(|(k, c)| (k.clone(), c.get()))
+                .filter_map(|(k, c)| {
+                    let v = c.get();
+                    (v != 0).then(|| (k.clone(), v))
+                })
                 .collect(),
             histograms: inner
                 .histograms
                 .iter()
-                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .filter_map(|(k, h)| {
+                    let s = h.snapshot();
+                    (s.count != 0 || s.sum != 0).then(|| (k.clone(), s))
+                })
                 .collect(),
         }
     }
@@ -383,6 +439,24 @@ mod tests {
         // Unmoved instruments are dropped, not reported as zero.
         assert!(!window.counters.contains_key("early.counter"));
         assert!(!window.histograms.contains_key("early.hist"));
+    }
+
+    #[test]
+    fn restore_rewinds_all_instruments_and_keeps_handles_live() {
+        let r = Registry::default();
+        let c = r.counter("pipeline.flushes");
+        let h = r.histogram("mem.lat");
+        c.add(3);
+        h.observe(8);
+        let saved = r.snapshot();
+        c.add(100);
+        h.observe(9);
+        r.counter("late.counter").add(7); // absent from `saved`
+        r.restore(&saved);
+        assert_eq!(r.snapshot(), saved, "late counter zeroed, rest rewound");
+        // The pre-restore handle still points at the live cell.
+        c.inc();
+        assert_eq!(r.snapshot().counters["pipeline.flushes"], 4);
     }
 
     #[test]
